@@ -1,0 +1,62 @@
+"""Ablation A — adaptive q_th vs frozen thresholds (DESIGN.md §6).
+
+TLB's defining mechanism is recomputing ``q_th`` from the measured
+short-flow load every 500 µs.  This ablation freezes the threshold at
+several values and compares against the adaptive calculator under two
+different short-flow intensities.
+
+Expected shape: no single frozen threshold is right for both regimes
+(small thresholds waste long-flow stickiness under heavy short load,
+large ones waste path diversity under light load); the adaptive
+calculator stays near the per-regime best.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+from repro.experiments.report import format_table
+
+BASE = ScenarioConfig(
+    scheme="tlb", n_paths=8, hosts_per_leaf=120, n_long=4,
+    long_size=2_000_000, horizon=1.0, distinct_hosts=True)
+
+FIXED = (1, 8, 32, 128)
+REGIMES = {
+    "heavy_shorts": dict(n_short=100, short_window=0.01),
+    "light_shorts": dict(n_short=15, short_window=0.02),
+}
+
+
+def _run_all():
+    out = {}
+    for regime, wl in REGIMES.items():
+        cfg = BASE.with_(**wl)
+        runs = {"adaptive": run_scenario_metrics(cfg)}
+        for q in FIXED:
+            runs[f"fixed_{q}"] = run_scenario_metrics(
+                cfg.with_(scheme_params={"fixed_qth": q}))
+        out[regime] = runs
+    return out
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_adaptive_vs_fixed_qth(benchmark):
+    results = once(benchmark, _run_all)
+    rows = []
+    for regime, runs in results.items():
+        for label, m in runs.items():
+            rows.append([regime, label, m.short_fct.mean * 1e3,
+                         m.long_goodput_bps / 1e6, m.deadline_miss])
+    emit("ablation_fixed_qth", format_table(
+        ["regime", "qth", "short_afct_ms", "long_Mbps", "miss_ratio"],
+        rows, title="Ablation A — adaptive vs fixed switching threshold"))
+
+    for regime, runs in results.items():
+        fixed_afcts = {k: m.short_fct.mean for k, m in runs.items()
+                       if k != "adaptive"}
+        adaptive = runs["adaptive"].short_fct.mean
+        # adaptive stays close to the best frozen threshold per regime...
+        assert adaptive <= 1.25 * min(fixed_afcts.values()), regime
+        # ...without the worst-case penalty of a wrong frozen choice
+        assert adaptive < max(fixed_afcts.values()), regime

@@ -1,0 +1,55 @@
+"""Ablation E — the 500 µs update interval (paper §3, citing CONGA).
+
+TLB recomputes ``q_th`` every ``t``.  This ablation sweeps ``t`` across
+two orders of magnitude on the bursty microbenchmark: a sluggish
+calculator reacts after the burst has already suffered, while an
+ultra-fast one adds work without information (flow counts barely change
+in 50 µs).  The model itself also depends on ``t`` (Eq. 1 balances
+per-interval data), so the paper's choice is load-bearing, not cosmetic.
+
+Expected shape: a plateau around the paper's 500 µs, degrading at the
+multi-millisecond end (short bursts live and die between ticks).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+from repro.experiments.report import format_table
+from repro.units import microseconds, milliseconds
+
+BASE = ScenarioConfig(
+    scheme="tlb", n_paths=8, hosts_per_leaf=120, n_short=100, n_long=4,
+    long_size=2_000_000, short_window=0.01, horizon=1.0,
+    distinct_hosts=True)
+
+INTERVALS = (microseconds(100), microseconds(500), milliseconds(2),
+             milliseconds(10))
+
+
+def _run_all():
+    return {
+        t: run_scenario_metrics(
+            BASE.with_(scheme_params={"update_interval": t}))
+        for t in INTERVALS
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_update_interval(benchmark):
+    results = once(benchmark, _run_all)
+    emit("ablation_interval", format_table(
+        ["interval_us", "short_afct_ms", "short_p99_ms", "long_Mbps",
+         "long_reroutes"],
+        [[t * 1e6, m.short_fct.mean * 1e3, m.short_fct.p99 * 1e3,
+          m.long_goodput_bps / 1e6, m.extras.get("long_reroutes", 0)]
+         for t, m in results.items()],
+        title="Ablation E — granularity update interval t"))
+
+    afcts = {t: m.short_fct.mean for t, m in results.items()}
+    # the paper's 500 us sits on the plateau
+    assert afcts[microseconds(500)] <= 1.25 * min(afcts.values())
+    # every interval still completes the workload with sane metrics
+    for t, m in results.items():
+        assert m.short_fct.n_completed == 100, t
+        assert m.long_goodput_bps > 0, t

@@ -1,0 +1,49 @@
+"""Ablation B — short-flow path policy (DESIGN.md §6, the Hermes contrast).
+
+The paper argues (§8) that routing short flows per packet to the
+shortest queue — rather than hashing them like Hermes/ECMP — is what
+lets them dodge the long flows.  This ablation swaps TLB's short-flow
+policy for per-packet-random and per-flow-hash while keeping the
+adaptive long-flow machinery identical.
+
+Expected shape: shortest-queue yields the lowest short-flow AFCT;
+hashing shows the ECMP-style tail.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+from repro.experiments.report import format_table
+
+BASE = ScenarioConfig(
+    scheme="tlb", n_paths=8, hosts_per_leaf=120, n_short=100, n_long=4,
+    long_size=2_000_000, short_window=0.01, horizon=1.0,
+    distinct_hosts=True)
+
+POLICIES = ("shortest_queue", "random", "hash")
+
+
+def _run_all():
+    return {
+        policy: run_scenario_metrics(
+            BASE.with_(scheme_params={"short_policy": policy}))
+        for policy in POLICIES
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_short_flow_policy(benchmark):
+    results = once(benchmark, _run_all)
+    emit("ablation_short_policy", format_table(
+        ["short_policy", "short_afct_ms", "short_p99_ms", "dup_ack_ratio"],
+        [[p, m.short_fct.mean * 1e3, m.short_fct.p99 * 1e3,
+          m.short_reordering.dup_ack_ratio] for p, m in results.items()],
+        title="Ablation B — short-flow path policy under TLB"))
+
+    sq = results["shortest_queue"]
+    # shortest-queue beats both alternatives on mean FCT
+    assert sq.short_fct.mean <= results["random"].short_fct.mean
+    assert sq.short_fct.mean < results["hash"].short_fct.mean
+    # and hashing exhibits the worst tail
+    assert results["hash"].short_fct.p99 >= sq.short_fct.p99

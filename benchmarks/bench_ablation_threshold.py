@@ -1,0 +1,51 @@
+"""Ablation D — the short/long classification threshold (DESIGN.md §6).
+
+The paper classifies a flow as long after 100 KB (§5) and argues the
+choice is benign.  This ablation sweeps the threshold across two orders
+of magnitude.
+
+Expected shape: a broad plateau around the paper's 100 KB — tiny
+thresholds reclassify short flows as long (losing their per-packet
+agility), huge ones leave elephants spraying per packet (reordering) —
+with the default no worse than ~1.3x the best point.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+from repro.experiments.report import format_table
+from repro.units import KB, MB
+
+BASE = ScenarioConfig(
+    scheme="tlb", n_paths=8, hosts_per_leaf=120, n_short=100, n_long=4,
+    long_size=2_000_000, short_window=0.01, horizon=1.0,
+    distinct_hosts=True)
+
+THRESHOLDS = (KB(10), KB(50), KB(100), KB(400), MB(2))
+
+
+def _run_all():
+    return {
+        t: run_scenario_metrics(
+            BASE.with_(scheme_params={"long_threshold_bytes": t}))
+        for t in THRESHOLDS
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_classification_threshold(benchmark):
+    results = once(benchmark, _run_all)
+    emit("ablation_threshold", format_table(
+        ["threshold_KB", "short_afct_ms", "long_Mbps", "long_dup_ratio"],
+        [[t / 1000, m.short_fct.mean * 1e3, m.long_goodput_bps / 1e6,
+          m.long_reordering.dup_ack_ratio] for t, m in results.items()],
+        title="Ablation D — short/long classification threshold"))
+
+    afcts = {t: m.short_fct.mean for t, m in results.items()}
+    # the paper's 100 KB sits on the plateau
+    assert afcts[KB(100)] <= 1.3 * min(afcts.values())
+    # a threshold above every long flow leaves elephants unclassified ->
+    # they spray per packet and reorder more than under the default
+    assert (results[MB(2)].long_reordering.dup_ack_ratio
+            >= results[KB(100)].long_reordering.dup_ack_ratio)

@@ -1,0 +1,41 @@
+"""Fig. 3 — impact of switching granularity on short flows (§2.2).
+
+Regenerates: (a) queue-length CDF percentiles of short-flow packets,
+(b) duplicate-ACK ratio, (c) FCT statistics, under flow-/flowlet-/
+packet-level rerouting of *all* flows.
+
+Paper shape: queue length and tail FCT grow with granularity; dup-ACK
+ratio grows as granularity shrinks; packet-level does not win FCT
+despite the shortest queues, because of reordering.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments import motivation
+from repro.experiments.report import format_table
+
+CONFIG = motivation.default_config(
+    n_paths=8, hosts_per_leaf=60, n_short=50, n_long=4,
+    long_size=2_000_000, short_window=0.01, horizon=1.0)
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_granularity_impact_on_short_flows(benchmark):
+    rows = once(benchmark, lambda: motivation.run_motivation(CONFIG))
+    by = {r.granularity: r for r in rows}
+    emit("fig03", format_table(
+        ["granularity", "qlen_p50", "qlen_p90", "qlen_p99",
+         "dup_ack_ratio", "afct_ms", "fct_p99_ms"],
+        [[r.granularity, r.qlen_p50, r.qlen_p90, r.qlen_p99,
+          r.short_dup_ack_ratio, r.short_afct * 1e3, r.short_fct_p99 * 1e3]
+         for r in rows],
+        title="Fig. 3 — impact of switching granularity on short flows",
+    ))
+    # (a) queue length experienced grows with coarser granularity
+    assert by["flow"].qlen_p99 >= by["packet"].qlen_p99
+    # (b) reordering grows as granularity shrinks
+    assert by["flow"].short_dup_ack_ratio == 0.0
+    assert by["packet"].short_dup_ack_ratio > by["flowlet"].short_dup_ack_ratio
+    # (c) flow-level has the worst tail FCT
+    assert by["flow"].short_fct_p99 >= by["flowlet"].short_fct_p99

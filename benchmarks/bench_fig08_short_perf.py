@@ -1,0 +1,43 @@
+"""Fig. 8 — basic performance of short flows (§6.1).
+
+Regenerates (a) the real-time reordering signal (dup-ACK ratio over the
+run) and (b) the average queueing delay of short flows, for TLB vs the
+baselines on the shared microbenchmark workload.
+
+Paper shape: TLB's short flows see (almost) the lowest queueing delay
+and far less reordering than RPS/Presto, because short and long flows
+are not mixed on the same queues.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments import basic
+from repro.experiments.report import format_table
+
+CONFIG = basic.default_config(
+    n_paths=8, hosts_per_leaf=60, n_short=50, n_long=3,
+    long_size=2_000_000, short_window=0.015, horizon=1.0,
+    bin_width=0.005, distinct_hosts=True)
+
+SCHEMES = ("ecmp", "rps", "presto", "letflow", "tlb")
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_short_flow_reordering_and_queueing(benchmark):
+    series = once(benchmark, lambda: basic.run_basic(SCHEMES, CONFIG))
+    by = {s.scheme: s for s in series}
+    emit("fig08", format_table(
+        ["scheme", "short_dup_ratio", "mean_queue_wait_us", "short_afct_ms"],
+        [[s.scheme, s.short_dup_ratio, s.mean_short_wait * 1e6,
+          s.short_afct * 1e3] for s in series],
+        title="Fig. 8 — short flows: reordering (a) and queueing delay (b)",
+    ))
+    # (a) TLB reorders short flows far less than per-packet spraying
+    assert by["tlb"].short_dup_ratio < by["rps"].short_dup_ratio
+    assert by["tlb"].short_dup_ratio < by["presto"].short_dup_ratio
+    # (b) TLB's short-flow queueing delay is at or near the minimum
+    waits = {s.scheme: s.mean_short_wait for s in series}
+    assert waits["tlb"] <= 1.5 * min(waits.values())
+    # and clearly better than flow-hashing
+    assert waits["tlb"] < waits["ecmp"]

@@ -1,0 +1,45 @@
+"""Fig. 16 — asymmetric propagation delay (§7).
+
+Two randomly chosen leaf–spine links get extra one-way delay; schemes
+compared at testbed scale: (a) short-flow AFCT normalised to TLB,
+(b) long-flow throughput.
+
+Paper shape: the per-packet/flowcell schemes (RPS, Presto) degrade most
+as the delay gap grows; LetFlow stays resilient; TLB performs best
+overall.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments import asymmetry, testbed
+
+# Heavy enough congestion that queueing delay (the signal TLB reads)
+# dominates the injected propagation asymmetry — the testbed's regime,
+# where one packet serialises in 0.6 ms and queues run tens of ms deep.
+CONFIG = testbed.testbed_config(
+    n_short=60, n_long=4, hosts_per_leaf=80, long_size=5_000_000,
+    short_window=0.4, horizon=45.0, distinct_hosts=True)
+
+SCHEMES = ("ecmp", "rps", "presto", "letflow", "tlb")
+DELAYS = (0.0, 4e-3)  # extra one-way delay on the 2 bad links
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_delay_asymmetry(benchmark):
+    rows = once(benchmark, lambda: asymmetry.run_asymmetry_sweep(
+        "delay", DELAYS, config=CONFIG, schemes=SCHEMES, processes=0))
+    emit("fig16", asymmetry.tabulate(rows, "delay"))
+    cell = {(r.scheme, r.x): r for r in rows}
+    worst = DELAYS[-1]
+
+    # TLB at or near the best AFCT under the strongest asymmetry
+    afcts = {s: cell[(s, worst)].short_afct for s in SCHEMES}
+    assert afcts["tlb"] <= 1.15 * min(afcts.values())
+
+    # reordering-prone schemes lose long-flow throughput as delay grows
+    assert (cell[("rps", worst)].long_goodput_bps
+            < cell[("rps", 0.0)].long_goodput_bps)
+    # TLB's long flows beat RPS's under the strongest asymmetry
+    assert (cell[("tlb", worst)].long_goodput_bps
+            > cell[("rps", worst)].long_goodput_bps)

@@ -1,0 +1,43 @@
+"""Fig. 17 — asymmetric bandwidth (§7).
+
+Two randomly chosen leaf–spine links run at a reduced rate; schemes
+compared at testbed scale: (a) short-flow AFCT normalised to TLB,
+(b) long-flow throughput.
+
+Paper shape: under growing bandwidth asymmetry ECMP flows hashed onto
+the slow links suffer long tails, RPS/Presto suffer reordering across
+unequal paths; TLB (congestion-aware at both granularities) leads.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments import asymmetry, testbed
+
+# Same congested regime as the Fig. 16 bench (see the note there).
+CONFIG = testbed.testbed_config(
+    n_short=60, n_long=4, hosts_per_leaf=80, long_size=5_000_000,
+    short_window=0.4, horizon=45.0, distinct_hosts=True)
+
+SCHEMES = ("ecmp", "rps", "presto", "letflow", "tlb")
+FACTORS = (1.0, 0.2)  # rate factors of the 2 degraded links
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_bandwidth_asymmetry(benchmark):
+    rows = once(benchmark, lambda: asymmetry.run_asymmetry_sweep(
+        "bandwidth", FACTORS, config=CONFIG, schemes=SCHEMES, processes=0))
+    emit("fig17", asymmetry.tabulate(rows, "bandwidth"))
+    cell = {(r.scheme, r.x): r for r in rows}
+    worst = FACTORS[-1]
+
+    # TLB at or near the best AFCT under the strongest asymmetry
+    afcts = {s: cell[(s, worst)].short_afct for s in SCHEMES}
+    assert afcts["tlb"] <= 1.15 * min(afcts.values())
+
+    # oblivious per-packet spraying pays for the slow links
+    assert (cell[("rps", worst)].long_goodput_bps
+            < cell[("rps", 1.0)].long_goodput_bps)
+    # TLB's long flows stay ahead of RPS under asymmetry
+    assert (cell[("tlb", worst)].long_goodput_bps
+            > cell[("rps", worst)].long_goodput_bps)

@@ -1,0 +1,27 @@
+"""Shared helpers for the figure benchmarks.
+
+Every bench regenerates one paper figure at reduced scale, prints its
+rows (visible with ``pytest -s``), saves them under
+``benchmarks/results/`` for inspection, and asserts the figure's
+qualitative shape.  ``pedantic(rounds=1)`` is used throughout: a figure
+run is a full simulation campaign, not a microbenchmark to be repeated.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a figure's table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    return text
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

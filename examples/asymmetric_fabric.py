@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Asymmetric fabrics — the paper's Figs. 16/17 as a script.
+
+Degrades two randomly chosen leaf–spine links (extra delay and/or
+reduced bandwidth) and compares how each scheme copes, at the paper's
+testbed scale (20 Mbps links, 1 ms delay, 10 equal-cost paths).
+
+Usage::
+
+    python examples/asymmetric_fabric.py                       # delay sweep
+    python examples/asymmetric_fabric.py --kind bandwidth
+    python examples/asymmetric_fabric.py --values 0 0.002 0.01 # delays (s)
+"""
+
+import argparse
+
+from repro.experiments import asymmetry, testbed
+
+
+def parse_args() -> argparse.Namespace:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--kind", choices=("delay", "bandwidth"), default="delay")
+    p.add_argument("--values", nargs="+", type=float, default=None,
+                   help="extra delays in seconds, or rate factors")
+    p.add_argument("--schemes", nargs="+",
+                   default=list(asymmetry.DEFAULT_SCHEMES))
+    p.add_argument("--short-flows", type=int, default=60)
+    p.add_argument("--long-flows", type=int, default=3)
+    p.add_argument("--seed", type=int, default=1)
+    return p.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    values = args.values
+    if values is None:
+        values = [0.0, 2e-3, 8e-3] if args.kind == "delay" else [1.0, 0.5, 0.2]
+    config = testbed.testbed_config(
+        n_short=args.short_flows, n_long=args.long_flows,
+        hosts_per_leaf=args.short_flows + args.long_flows + 10,
+        long_size=2_000_000, short_window=1.0, horizon=40.0,
+        distinct_hosts=True, seed=args.seed)
+
+    pair = asymmetry.degraded_pair(config)
+    print(f"degrading links: {pair[0][0]}<->{pair[0][1]} and "
+          f"{pair[1][0]}<->{pair[1][1]} ({args.kind} sweep)\n")
+    rows = asymmetry.run_asymmetry_sweep(
+        args.kind, values, config=config, schemes=args.schemes)
+    print(asymmetry.tabulate(rows, args.kind))
+
+
+if __name__ == "__main__":
+    main()

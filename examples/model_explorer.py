@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Explore the §4 queueing model (Eqs. 1–9) without running a simulation.
+
+Computes, over vectorised parameter grids:
+
+* the switching threshold ``q_th`` as a function of short/long flow
+  counts, path count and deadline (the four Fig. 7 panels);
+* the model's mean short-flow FCT (Eq. 8) vs the paths allocated;
+* the path split n_S / n_L the model implies at an operating point.
+
+Usage::
+
+    python examples/model_explorer.py
+    python examples/model_explorer.py --rate 10e9 --deadline 0.005
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import model
+from repro.experiments.report import format_table
+from repro.units import DEFAULT_PACKET_BYTES, KB, KiB
+
+
+def parse_args() -> argparse.Namespace:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--rate", type=float, default=1e9, help="link rate (bps)")
+    p.add_argument("--rtt", type=float, default=100e-6, help="RTT (s)")
+    p.add_argument("--interval", type=float, default=500e-6,
+                   help="update interval t (s)")
+    p.add_argument("--deadline", type=float, default=0.010, help="D (s)")
+    p.add_argument("--short-size", type=float, default=KB(70),
+                   help="mean short-flow size (bytes)")
+    p.add_argument("--paths", type=int, default=15)
+    return p.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    c = model.capacity_pps(args.rate, DEFAULT_PACKET_BYTES)
+    x = args.short_size / 1460
+    w_l = KiB(64) / 1460
+    base = dict(x_packets=x, deadline=args.deadline, n_paths=args.paths,
+                w_l_packets=w_l, interval=args.interval, rtt=args.rtt,
+                c_pps=c)
+
+    print(f"link capacity: {c:,.0f} packets/s; mean short flow: {x:.1f} "
+          f"packets ({model.slow_start_rounds(x):.0f} slow-start rounds)\n")
+
+    # Panel 1: q_th vs m_S (vectorised over the whole axis at once).
+    m_s = np.arange(20, 160, 20)
+    qth = model.qth_full(m_s, 3, **base)
+    print(format_table(
+        ["m_short", "qth_packets"], list(zip(m_s.tolist(), qth.tolist())),
+        title="q_th vs number of short flows (m_L=3)"))
+    print()
+
+    # Panel 2: q_th vs m_L.
+    m_l = np.arange(1, 6)
+    qth = model.qth_full(100, m_l, **base)
+    print(format_table(
+        ["m_long", "qth_packets"], list(zip(m_l.tolist(), qth.tolist())),
+        title="q_th vs number of long flows (m_S=100)"))
+    print()
+
+    # Panel 3: the implied path split at the operating point.
+    n_s = model.required_short_paths(100, x, args.deadline, c)
+    print(f"path split at m_S=100, D={args.deadline * 1e3:.0f} ms: "
+          f"n_S={n_s:.2f}, n_L={args.paths - n_s:.2f} of n={args.paths}\n")
+
+    # Panel 4: Eq. 8's mean FCT vs allocated paths.
+    n_paths = np.arange(max(1, int(np.ceil(n_s))), args.paths + 1, dtype=float)
+    fct = model.mean_short_fct(100, x, n_paths, c)
+    print(format_table(
+        ["n_short_paths", "mean_fct_ms"],
+        [[int(n), f * 1e3] for n, f in zip(n_paths, fct)],
+        title="Eq. 8 mean short-flow FCT vs allocated paths (m_S=100)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Web-search workload comparison — the paper's Fig. 10 as a script.
+
+Sweeps load for every scheme on the DCTCP web-search flow-size
+distribution and prints the four panels (short-flow AFCT, 99th-pct FCT,
+deadline misses, long-flow throughput).
+
+Usage::
+
+    python examples/websearch_comparison.py                # reduced scale
+    python examples/websearch_comparison.py --paper-scale  # 8x8x256 hosts (slow!)
+    python examples/websearch_comparison.py --workload data_mining
+    python examples/websearch_comparison.py --loads 0.2 0.8 --schemes ecmp tlb
+"""
+
+import argparse
+
+from repro.experiments import largescale
+
+
+def parse_args() -> argparse.Namespace:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--workload", choices=("web_search", "data_mining"),
+                   default="web_search")
+    p.add_argument("--schemes", nargs="+",
+                   default=list(largescale.DEFAULT_SCHEMES))
+    p.add_argument("--loads", nargs="+", type=float, default=[0.2, 0.5, 0.8])
+    p.add_argument("--flows", type=int, default=150,
+                   help="number of Poisson-arriving flows")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--paper-scale", action="store_true",
+                   help="the full 8-leaf/8-spine/256-host fabric of §6.2 "
+                        "(CPU-hours at high load)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="sweep parallelism (default: CPU count)")
+    return p.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    if args.paper_scale:
+        config = largescale.paper_scale_config(args.workload, seed=args.seed)
+    else:
+        config = largescale.default_config(
+            args.workload, n_leaves=2, n_paths=4, hosts_per_leaf=16,
+            n_flows=args.flows, seed=args.seed)
+    rows = largescale.run_load_sweep(
+        config, schemes=args.schemes, loads=args.loads,
+        processes=args.processes)
+    print(largescale.tabulate(rows, args.workload))
+
+    # Paper-style headline: TLB's AFCT reduction at the highest load.
+    top = max(args.loads)
+    cell = {(r.scheme, r.load): r for r in rows}
+    if "tlb" in args.schemes:
+        tlb = cell[("tlb", top)].short_afct
+        print(f"\nshort-flow AFCT reduction of TLB at load {top}:")
+        for s in args.schemes:
+            if s == "tlb":
+                continue
+            other = cell[(s, top)].short_afct
+            print(f"  vs {s:8s}: {100 * (1 - tlb / other):5.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — reproduction of *TLB: Traffic-aware Load Balancing with
+Adaptive Granularity in Data Center Networks* (Hu et al., ICPP 2019).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` — discrete-event kernel (the NS2 substitute's engine);
+* :mod:`repro.net` — packets, queued ports, switches, hosts, leaf–spine
+  topologies, asymmetry injection;
+* :mod:`repro.transport` — TCP/DCTCP senders and receivers;
+* :mod:`repro.lb` — the baseline load balancers (ECMP, RPS, Presto,
+  LetFlow, DRILL, CONGA-lite, WCMP, Hermes-lite, FlowBender-lite,
+  fixed-granularity);
+* :mod:`repro.core` — **TLB itself**: flow table, load estimation,
+  the §4 queueing model, the granularity calculator and the forwarding
+  manager;
+* :mod:`repro.workload` — heavy-tailed flow generators (web search,
+  data mining) with Poisson arrivals and deadline assignment;
+* :mod:`repro.metrics` — FCT/throughput/queueing/reordering/deadline/
+  overhead collectors;
+* :mod:`repro.experiments` — one driver per paper figure plus a
+  multiprocessing sweep runner.
+
+Quick start::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+    result = run_scenario(ScenarioConfig(scheme="tlb", seed=1))
+    print(result.summary())
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigError,
+    ModelError,
+    ReproError,
+    RoutingError,
+    SchemeError,
+    SimulationError,
+    TopologyError,
+    TransportError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "TopologyError",
+    "RoutingError",
+    "TransportError",
+    "ModelError",
+    "SchemeError",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``schemes``
+    List registered load-balancing schemes.
+``run``
+    Run one scenario and print its metrics (optionally export CSV/JSON).
+``figure``
+    Regenerate one paper figure's table (reduced scale).
+``model``
+    Evaluate the Eq. 9 threshold for given parameters (no simulation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+FIGURES = {
+    "fig3": ("repro.experiments.motivation", "main", ()),
+    "fig4": ("repro.experiments.motivation", "main", ()),
+    "fig7": ("repro.experiments.model_verification", "main", ()),
+    "fig8": ("repro.experiments.basic", "main", ()),
+    "fig9": ("repro.experiments.basic", "main", ()),
+    "fig10": ("repro.experiments.largescale", "main", ("web_search",)),
+    "fig11": ("repro.experiments.largescale", "main", ("data_mining",)),
+    "fig12": ("repro.experiments.deadline_agnostic", "main", ()),
+    "fig13": ("repro.experiments.testbed", "main", ("n_short",)),
+    "fig14": ("repro.experiments.testbed", "main", ("n_long",)),
+    "fig15": ("repro.experiments.overhead", "main", ()),
+    "fig16": ("repro.experiments.asymmetry", "main", ("delay",)),
+    "fig17": ("repro.experiments.asymmetry", "main", ("bandwidth",)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="TLB (ICPP 2019) reproduction toolkit",
+    )
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list load-balancing schemes")
+
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("--scheme", default="tlb")
+    run.add_argument("--workload", choices=("static", "poisson"), default="static")
+    run.add_argument("--sizes", choices=("web_search", "data_mining"),
+                     default="web_search")
+    run.add_argument("--load", type=float, default=0.4)
+    run.add_argument("--flows", type=int, default=150)
+    run.add_argument("--short-flows", type=int, default=100)
+    run.add_argument("--long-flows", type=int, default=3)
+    run.add_argument("--paths", type=int, default=15)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--csv", help="write metrics to this CSV file")
+    run.add_argument("--json", help="write metrics to this JSON file")
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("name", choices=sorted(FIGURES))
+
+    sw = sub.add_parser("sweep", help="load sweep across schemes, CSV out")
+    sw.add_argument("--schemes", nargs="+", default=["ecmp", "rps", "tlb"])
+    sw.add_argument("--loads", nargs="+", type=float, default=[0.2, 0.5, 0.8])
+    sw.add_argument("--sizes", choices=("web_search", "data_mining"),
+                    default="web_search")
+    sw.add_argument("--flows", type=int, default=100)
+    sw.add_argument("--seed", type=int, default=1)
+    sw.add_argument("--csv", help="write one row per (scheme, load)")
+    sw.add_argument("--processes", type=int, default=None)
+
+    model = sub.add_parser("model", help="evaluate Eq. 9 (no simulation)")
+    model.add_argument("--short-flows", type=int, default=100)
+    model.add_argument("--long-flows", type=int, default=3)
+    model.add_argument("--paths", type=int, default=15)
+    model.add_argument("--deadline", type=float, default=0.010)
+    model.add_argument("--rate", type=float, default=1e9)
+    model.add_argument("--short-size", type=float, default=70_000)
+    return p
+
+
+def _cmd_schemes() -> int:
+    from repro.lb import available_schemes
+
+    for name in available_schemes():
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ScenarioConfig, run_scenario
+    from repro.metrics.export import write_metrics_csv, write_metrics_json
+
+    if args.workload == "static":
+        config = ScenarioConfig(
+            scheme=args.scheme, seed=args.seed, n_paths=args.paths,
+            n_short=args.short_flows, n_long=args.long_flows,
+            hosts_per_leaf=args.short_flows + args.long_flows,
+            short_window=0.02, distinct_hosts=True)
+    else:
+        config = ScenarioConfig(
+            scheme=args.scheme, seed=args.seed, workload="poisson",
+            sizes=args.sizes, load=args.load, n_flows=args.flows,
+            n_paths=4, hosts_per_leaf=16, truncate_tail=3_000_000,
+            horizon=5.0)
+    result = run_scenario(config)
+    print(result.metrics.summary())
+    if args.csv:
+        print("wrote", write_metrics_csv(args.csv, [result.metrics]))
+    if args.json:
+        print("wrote", write_metrics_json(args.json, [result.metrics]))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.largescale import default_config, run_load_sweep, tabulate
+    from repro.experiments.runner import run_many
+    from repro.metrics.export import write_metrics_csv
+
+    config = default_config(args.sizes, n_flows=args.flows, seed=args.seed)
+    grid = [(s, l) for s in args.schemes for l in args.loads]
+    configs = [config.with_(scheme=s, load=l) for s, l in grid]
+    metrics = run_many(configs, processes=args.processes)
+    from repro.experiments.largescale import _row
+
+    rows = [_row(s, l, m) for (s, l), m in zip(grid, metrics)]
+    print(tabulate(rows, args.sizes))
+    if args.csv:
+        path = write_metrics_csv(
+            args.csv, metrics,
+            extra_columns=[{"load": l, "swept_scheme": s} for s, l in grid])
+        print("wrote", path)
+    return 0
+
+
+def _cmd_figure(name: str) -> int:
+    import importlib
+
+    module_name, fn_name, fn_args = FIGURES[name]
+    module = importlib.import_module(module_name)
+    print(getattr(module, fn_name)(*fn_args))
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.experiments.model_verification import numeric_qth
+
+    q = numeric_qth(
+        m_short=args.short_flows, m_long=args.long_flows,
+        n_paths=args.paths, deadline=args.deadline,
+        mean_short_bytes=args.short_size, link_rate=args.rate)
+    print(f"q_th = {q:.1f} packets "
+          f"(m_S={args.short_flows}, m_L={args.long_flows}, "
+          f"n={args.paths}, D={args.deadline * 1e3:g} ms)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "schemes":
+        return _cmd_schemes()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "figure":
+        return _cmd_figure(args.name)
+    if args.command == "model":
+        return _cmd_model(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""TLB: the paper's contribution.
+
+Two switch-side modules (paper Fig. 6):
+
+* the **granularity calculator** (:mod:`repro.core.granularity_calculator`)
+  periodically re-derives the long-flow switching threshold ``q_th`` from
+  the queueing model of §4 (:mod:`repro.core.model`), driven by the
+  short-flow load measured by :mod:`repro.core.load_estimator` over the
+  flow table (:mod:`repro.core.flow_table`);
+* the **forwarding manager** (:mod:`repro.core.tlb`) sprays short flows
+  per packet to the shortest queue and lets long flows stick to their
+  current uplink until its queue reaches ``q_th``.
+
+Importing this package registers the ``"tlb"`` scheme with
+:mod:`repro.lb.registry`.
+"""
+
+from repro.core.config import TlbConfig
+from repro.core.flow_table import FlowEntry, FlowTable
+from repro.core.load_estimator import DeadlineStats, EmaEstimator, LoadEstimator
+from repro.core.granularity_calculator import GranularityCalculator
+from repro.core.model import (
+    mean_short_fct,
+    pk_waiting_time,
+    required_short_paths,
+    slow_start_rounds,
+    switching_threshold,
+)
+from repro.core.tlb import TlbBalancer
+
+__all__ = [
+    "TlbConfig",
+    "FlowTable",
+    "FlowEntry",
+    "LoadEstimator",
+    "EmaEstimator",
+    "DeadlineStats",
+    "GranularityCalculator",
+    "TlbBalancer",
+    "slow_start_rounds",
+    "required_short_paths",
+    "switching_threshold",
+    "mean_short_fct",
+    "pk_waiting_time",
+]

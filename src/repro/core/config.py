@@ -1,0 +1,115 @@
+"""TLB configuration.
+
+Defaults follow the paper exactly: 500 µs update interval (§3, citing
+CONGA), 100 KB short/long classification threshold (§5), 64 KB long-flow
+window ``W_L`` (§4.1, the Linux receive-buffer default), and the 25th
+percentile deadline policy (§6.3, with a 10 ms fallback matching the
+[5 ms, 25 ms] uniform deadline distribution used throughout §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.units import DEFAULT_MSS, KB, KiB, microseconds, milliseconds
+
+__all__ = ["TlbConfig"]
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Tunables of the TLB switch logic.
+
+    Attributes
+    ----------
+    update_interval:
+        ``t`` — the period of granularity recomputation *and* of the
+        idle-flow sampling pass (paper §5 uses the same 500 µs for both).
+    long_threshold_bytes:
+        Bytes after which a flow is reclassified as long (100 KB, §5).
+    w_l_bytes:
+        Assumed long-flow window cap ``W_L`` (64 KB, §4.1).
+    rtt:
+        Round-trip propagation delay the model uses (fabric-dependent;
+        experiment builders pass the topology's value).
+    deadline_percentile:
+        Which percentile of observed deadlines becomes the model's ``D``
+        (§6.3 picks the 25th).
+    default_deadline:
+        ``D`` used before any deadline has been observed (10 ms = the
+        25th percentile of the paper's [5, 25] ms distribution).
+    default_short_size:
+        Mean short-flow size ``X`` before any sample exists (70 KB, §4.2).
+    mss:
+        Segment size used to convert the model to packet units.
+    fixed_qth:
+        If set, disables adaptation and uses this threshold (in packets)
+        unconditionally — the ablation knob and the "simulation" side of
+        the Fig. 7 model-verification sweep.
+    use_deadline_info:
+        When False the switch ignores deadline information carried on
+        SYNs and always uses ``default_deadline`` — the §6.3
+        deadline-agnostic mode ("TLB works in dark").
+    min_qth:
+        Floor on the adaptive threshold, in packets.  1 keeps long flows
+        maximally flexible when short flows are absent.
+    size_ema_gain:
+        Gain of the running short-flow-size mean estimator.
+    deadline_window:
+        How many recent deadline observations back the percentile.
+    """
+
+    update_interval: float = microseconds(500)
+    long_threshold_bytes: int = KB(100)
+    w_l_bytes: int = KiB(64)
+    rtt: float = microseconds(100)
+    deadline_percentile: float = 25.0
+    default_deadline: float = milliseconds(10)
+    default_short_size: int = KB(70)
+    mss: int = DEFAULT_MSS
+    fixed_qth: Optional[int] = None
+    use_deadline_info: bool = True
+    #: how short flows pick paths: "shortest_queue" (TLB, per packet),
+    #: "random" (RPS-like) or "hash" (ECMP-like, the Hermes contrast the
+    #: paper draws in §8) — an ablation knob, not a paper mode.
+    short_policy: str = "shortest_queue"
+    min_qth: int = 1
+    size_ema_gain: float = 0.1
+    deadline_window: int = 512
+
+    def __post_init__(self) -> None:
+        if self.update_interval <= 0:
+            raise ConfigError("update_interval must be positive")
+        if self.long_threshold_bytes <= 0:
+            raise ConfigError("long_threshold_bytes must be positive")
+        if self.w_l_bytes <= 0:
+            raise ConfigError("w_l_bytes must be positive")
+        if self.rtt <= 0:
+            raise ConfigError("rtt must be positive")
+        if not 0 < self.deadline_percentile < 100:
+            raise ConfigError("deadline_percentile must be in (0, 100)")
+        if self.default_deadline <= 0:
+            raise ConfigError("default_deadline must be positive")
+        if self.mss <= 0:
+            raise ConfigError("mss must be positive")
+        if self.fixed_qth is not None and self.fixed_qth < 1:
+            raise ConfigError("fixed_qth must be >= 1 packet")
+        if self.short_policy not in ("shortest_queue", "random", "hash"):
+            raise ConfigError(f"unknown short_policy {self.short_policy!r}")
+        if self.min_qth < 1:
+            raise ConfigError("min_qth must be >= 1 packet")
+        if not 0 < self.size_ema_gain <= 1:
+            raise ConfigError("size_ema_gain must be in (0, 1]")
+        if self.deadline_window < 1:
+            raise ConfigError("deadline_window must be >= 1")
+
+    @property
+    def w_l_packets(self) -> float:
+        """``W_L`` in MSS-sized packets."""
+        return self.w_l_bytes / self.mss
+
+    def scaled(self, **changes) -> "TlbConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)

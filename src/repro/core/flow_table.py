@@ -1,0 +1,149 @@
+"""The switch-side flow table (paper §5).
+
+Tracks every flow the switch currently balances and classifies it as
+short or long:
+
+* all flows start as short; a flow crossing ``long_threshold_bytes``
+  (100 KB) is promoted to long — "the negative impact is very small due
+  to few number of long flows and the small threshold" (§5);
+* flows are counted via SYN/FIN (entry creation / removal) — with a
+  mid-flow fallback so a switch that missed the SYN (e.g. after a path
+  change in a multi-tier fabric) still tracks the flow;
+* a periodic sampling pass evicts flows that received no packet during
+  the last sampling interval, bounding damage from lost FINs and idle
+  connections (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["FlowEntry", "FlowTable"]
+
+#: A flow's LB key: (flow_id, is_ack_direction).
+FlowKey = tuple[int, bool]
+
+
+class FlowEntry:
+    """Per-flow switch state."""
+
+    __slots__ = ("key", "bytes_seen", "is_long", "port_idx", "last_seen", "deadline")
+
+    def __init__(self, key: FlowKey, now: float):
+        self.key = key
+        self.bytes_seen = 0
+        self.is_long = False
+        #: current output-port index; -1 until the first forwarding decision
+        self.port_idx = -1
+        self.last_seen = now
+        self.deadline: Optional[float] = None
+
+
+class FlowTable:
+    """Classified flow tracking with idle eviction.
+
+    Parameters
+    ----------
+    long_threshold_bytes:
+        Promotion threshold (wire bytes; the ~3 % header overhead versus
+        application bytes is negligible at a 100 KB boundary).
+    on_short_flow_end:
+        Callback ``(entry) -> None`` fired when a *short* flow leaves the
+        table (FIN or idle eviction) — the short-flow mean-size estimator
+        hangs off this.
+    """
+
+    def __init__(
+        self,
+        long_threshold_bytes: int,
+        on_short_flow_end: Optional[Callable[[FlowEntry], None]] = None,
+    ):
+        if long_threshold_bytes <= 0:
+            raise ConfigError("long_threshold_bytes must be positive")
+        self.long_threshold = int(long_threshold_bytes)
+        self.on_short_flow_end = on_short_flow_end
+        self._entries: dict[FlowKey, FlowEntry] = {}
+        self.n_short = 0
+        self.n_long = 0
+        self.promotions = 0
+        self.evictions = 0
+
+    # -- counters --------------------------------------------------------
+
+    @property
+    def m_short(self) -> int:
+        """Active short-flow count (the model's ``m_S``)."""
+        return self.n_short
+
+    @property
+    def m_long(self) -> int:
+        """Active long-flow count (the model's ``m_L``)."""
+        return self.n_long
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Look up without creating."""
+        return self._entries.get(key)
+
+    # -- updates -----------------------------------------------------------
+
+    def observe(self, key: FlowKey, size: int, now: float,
+                deadline: Optional[float] = None) -> FlowEntry:
+        """Account one packet of ``size`` bytes for flow ``key``.
+
+        Creates the entry on first sight (normally the SYN; any packet
+        works).  ``deadline`` (from the SYN, if the application exposes
+        one) is recorded on the entry.  Returns the entry so the
+        forwarding manager can read/update its classification and port.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = FlowEntry(key, now)
+            self._entries[key] = entry
+            self.n_short += 1
+        entry.bytes_seen += size
+        entry.last_seen = now
+        if deadline is not None:
+            entry.deadline = deadline
+        if not entry.is_long and entry.bytes_seen > self.long_threshold:
+            entry.is_long = True
+            self.n_short -= 1
+            self.n_long += 1
+            self.promotions += 1
+        return entry
+
+    def remove(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Remove a flow (its FIN arrived).  Returns the entry, if any."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._forget(entry)
+        return entry
+
+    def evict_idle(self, now: float, idle_timeout: float) -> int:
+        """Drop flows with no packet in the last ``idle_timeout`` seconds.
+
+        This is the paper's periodic sampling pass; returns how many
+        entries were evicted.
+        """
+        cutoff = now - idle_timeout
+        stale = [k for k, e in self._entries.items() if e.last_seen < cutoff]
+        for k in stale:
+            entry = self._entries.pop(k)
+            self._forget(entry)
+            self.evictions += 1
+        return len(stale)
+
+    def _forget(self, entry: FlowEntry) -> None:
+        if entry.is_long:
+            self.n_long -= 1
+        else:
+            self.n_short -= 1
+            if self.on_short_flow_end is not None:
+                self.on_short_flow_end(entry)

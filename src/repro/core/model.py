@@ -1,0 +1,168 @@
+"""The analytic queueing model of paper §4 (Eqs. 1–9).
+
+All functions work in **packet units**: flow sizes ``x`` in packets, link
+capacity ``c`` in packets/second (``link_rate / (8 * packet_bytes)``), and
+queue thresholds in packets.  Packet counts are dimensionless, so every
+formula is unit-consistent in seconds.
+
+Functions are NumPy-vectorised: scalars in → floats out; arrays in →
+arrays out.  The Fig. 7 sweeps call them on whole parameter grids at once.
+
+Derivation summary (matching the paper's equations)
+---------------------------------------------------
+* Eq. 3 — a short flow of ``x`` packets finishing in slow start (2, 4,
+  8, ... packets per round) needs ``r = floor(log2(x)) + 1`` rounds.
+* Eq. 6 — each round waits an M/D/1-FCFS (Pollaczek–Khintchine with
+  ``C_v² = 0``) expected time ``E[W] = ρ / (2(1-ρ)) · 1/c``.
+* Eq. 8 — with ``ρ = m_S·x / (FCT_S·n_S·c)``, the mean short-flow FCT is
+  the fixed point ``FCT_S = r·m_S·x / (2c·(FCT_S·n_S·c − m_S·x)) + x/c``.
+* Eq. 9 — setting ``FCT_S = D`` and solving for the path split yields the
+  short flows' path demand ``n_S``; the leftover ``n_L = n − n_S`` paths
+  then carry the long flows' per-interval data (Eq. 1), giving
+  ``q_th = m_L·W_L·(t/RTT)/n_L − t·c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.units import BITS_PER_BYTE, DEFAULT_PACKET_BYTES
+
+__all__ = [
+    "capacity_pps",
+    "slow_start_rounds",
+    "pk_waiting_time",
+    "required_short_paths",
+    "switching_threshold",
+    "qth_full",
+    "mean_short_fct",
+]
+
+
+def capacity_pps(link_rate_bps: float, packet_bytes: int = DEFAULT_PACKET_BYTES) -> float:
+    """Link capacity in packets per second."""
+    if link_rate_bps <= 0:
+        raise ModelError(f"link rate must be positive, got {link_rate_bps!r}")
+    if packet_bytes <= 0:
+        raise ModelError(f"packet size must be positive, got {packet_bytes!r}")
+    return link_rate_bps / (BITS_PER_BYTE * packet_bytes)
+
+
+def slow_start_rounds(size_packets):
+    """Eq. 3: RTT rounds for a short flow to finish in slow start.
+
+    The sender emits 2, 4, 8, ... packets per round, so a flow of ``x``
+    packets needs ``floor(log2(x)) + 1`` rounds (at least one).
+    """
+    x = np.asarray(size_packets, dtype=float)
+    if np.any(x <= 0):
+        raise ModelError("flow size must be positive (packets)")
+    r = np.floor(np.log2(np.maximum(x, 1.0))) + 1.0
+    return r if r.ndim else float(r)
+
+
+def pk_waiting_time(rho, c_pps):
+    """Eq. 6: M/D/1-FCFS expected wait ``ρ / (2(1-ρ)) · 1/c``.
+
+    Raises :class:`ModelError` when any ``rho`` is outside [0, 1).
+    """
+    rho_arr = np.asarray(rho, dtype=float)
+    if np.any((rho_arr < 0) | (rho_arr >= 1)):
+        raise ModelError(f"load strength must be in [0, 1), got {rho!r}")
+    w = rho_arr / (2.0 * (1.0 - rho_arr)) / c_pps
+    return w if w.ndim else float(w)
+
+
+def required_short_paths(m_s, x_packets, deadline, c_pps, rounds=None):
+    """Eq. 9 (inner term): paths short flows need to meet deadline ``D``.
+
+    Solves Eq. 8 with ``FCT_S = D`` for ``n_S``::
+
+        n_S = m_S · x · (r + A) / (A · D · c),   A = 2c(D − x/c)
+
+    Raises :class:`ModelError` where ``D <= x/c`` (the deadline is below
+    the pure transmission delay — no path count can meet it).
+    """
+    m_s = np.asarray(m_s, dtype=float)
+    x = np.asarray(x_packets, dtype=float)
+    d = np.asarray(deadline, dtype=float)
+    r = slow_start_rounds(x) if rounds is None else np.asarray(rounds, dtype=float)
+    tx = x / c_pps
+    if np.any(d <= tx):
+        raise ModelError(
+            "deadline must exceed the transmission delay x/c "
+            f"(D={deadline!r}, x/c={tx!r})"
+        )
+    a = 2.0 * c_pps * (d - tx)
+    n_s = m_s * x * (r + a) / (a * d * c_pps)
+    return n_s if n_s.ndim else float(n_s)
+
+
+def switching_threshold(m_l, w_l_packets, interval, rtt, n_long_paths, c_pps):
+    """Eq. 1 solved for ``q_th`` (packets), given the long flows' paths.
+
+    ``q_th · n_L + t·c·n_L = m_L · W_L · t / RTT``  ⇒
+    ``q_th = m_L·W_L·(t/RTT) / n_L − t·c``.
+
+    The result may be negative (long flows fit without any queueing);
+    callers clamp.  Raises :class:`ModelError` for non-positive ``n_L``.
+    """
+    n_l = np.asarray(n_long_paths, dtype=float)
+    if np.any(n_l <= 0):
+        raise ModelError(f"long flows have no paths (n_L={n_long_paths!r})")
+    m_l = np.asarray(m_l, dtype=float)
+    q = m_l * w_l_packets * (interval / rtt) / n_l - interval * c_pps
+    return q if q.ndim else float(q)
+
+
+def qth_full(
+    m_s, m_l, x_packets, deadline, n_paths, w_l_packets, interval, rtt, c_pps,
+    rounds=None,
+):
+    """Eq. 9 end to end: the minimum ``q_th`` (packets) such that short
+    flows meet ``deadline`` — the value TLB reroutes long flows at.
+
+    Raises :class:`ModelError` when short flows alone need ``>= n_paths``
+    paths (no feasible threshold) or the deadline is infeasible.
+    """
+    n_s = required_short_paths(m_s, x_packets, deadline, c_pps, rounds=rounds)
+    n_l = np.asarray(n_paths, dtype=float) - n_s
+    if np.any(n_l <= 0):
+        raise ModelError(
+            f"short flows need {n_s!r} of {n_paths!r} paths; "
+            "no capacity left for long flows"
+        )
+    return switching_threshold(m_l, w_l_packets, interval, rtt, n_l, c_pps)
+
+
+def mean_short_fct(m_s, x_packets, n_short_paths, c_pps, rounds=None):
+    """Eq. 8: mean short-flow FCT given a path allocation ``n_S``.
+
+    Solves the quadratic fixed point
+
+        ``2·n_S·c² · F² − 2·x·c·(m_S + n_S) · F + m_S·x·(2x − r) = 0``
+
+    and returns the root satisfying ``F > x/c`` (equivalently ``ρ < 1``).
+    Raises :class:`ModelError` if the offered short load exceeds the
+    allocated capacity (no real root above ``x/c``).
+    """
+    m_s = np.asarray(m_s, dtype=float)
+    x = np.asarray(x_packets, dtype=float)
+    n_s = np.asarray(n_short_paths, dtype=float)
+    if np.any(n_s <= 0):
+        raise ModelError(f"n_short_paths must be positive, got {n_short_paths!r}")
+    r = slow_start_rounds(x) if rounds is None else np.asarray(rounds, dtype=float)
+    a = 2.0 * n_s * c_pps**2
+    b = -2.0 * x * c_pps * (m_s + n_s)
+    c0 = m_s * x * (2.0 * x - r)
+    disc = b * b - 4.0 * a * c0
+    if np.any(disc < 0):
+        raise ModelError("no real FCT solution (short-flow load exceeds capacity)")
+    f = (-b + np.sqrt(disc)) / (2.0 * a)
+    tx = x / c_pps
+    # The m_S -> 0 limit collapses to F == x/c exactly; only reject roots
+    # strictly below the transmission delay (within fp tolerance).
+    if np.any(f < tx * (1.0 - 1e-9)):
+        raise ModelError("FCT root is below the transmission delay")
+    return f if f.ndim else float(f)

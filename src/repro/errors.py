@@ -1,0 +1,44 @@
+"""Exception hierarchy for the TLB reproduction package.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the library's failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An experiment, topology or scheme was configured inconsistently."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class TopologyError(ConfigError):
+    """A topology was malformed (missing links, unknown nodes, ...)."""
+
+
+class RoutingError(ReproError, LookupError):
+    """No route exists between two endpoints."""
+
+
+class TransportError(SimulationError):
+    """A transport agent violated a protocol invariant."""
+
+
+class ModelError(ReproError, ValueError):
+    """The analytic queueing model was evaluated outside its domain.
+
+    For example: a deadline smaller than the pure transmission delay, or a
+    path count insufficient to serve the offered short-flow load (Eq. 9 has
+    no feasible ``q_th`` in that regime).
+    """
+
+
+class SchemeError(ConfigError):
+    """An unknown or misconfigured load-balancing scheme was requested."""

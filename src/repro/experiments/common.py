@@ -1,0 +1,273 @@
+"""The scenario harness: one config in, one measured run out.
+
+:class:`ScenarioConfig` captures everything a run needs — fabric shape,
+scheme, workload, transport, seed, horizon — as a flat, picklable
+dataclass so parameter sweeps can ship configs to worker processes.
+:func:`run_scenario` assembles and executes it.
+
+The simulation is driven in slices: schemes with periodic timers (TLB)
+keep the event heap non-empty forever, so "run until the workload
+completes" is implemented as bounded slices with a completion check in
+between, capped by ``config.horizon``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.errors import ConfigError
+from repro.lb.registry import attach_scheme
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.net.asymmetry import LinkOverride, apply_asymmetry
+from repro.net.topology import LeafSpineConfig, Network, build_leaf_spine
+from repro.sim.trace import NullTracer, RecordingTracer
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import FlowRegistry
+from repro.transport.tcp import TcpConfig, TcpSender
+from repro.units import Gbps, KB, MB, microseconds
+from repro.workload.deadlines import UniformDeadlines
+from repro.workload.distributions import (
+    DATA_MINING,
+    WEB_SEARCH,
+    FlowSizeDistribution,
+    PiecewiseCdf,
+    UniformSize,
+)
+from repro.workload.generator import PoissonWorkload, StaticWorkload, WorkloadResult
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario", "run_scenario_metrics"]
+
+_SIZE_DISTRIBUTIONS = {
+    "web_search": WEB_SEARCH,
+    "data_mining": DATA_MINING,
+}
+
+_TRANSPORTS = {
+    "dctcp": DctcpSender,
+    "tcp": TcpSender,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One simulation run, fully specified and picklable.
+
+    Defaults reproduce the paper's §4.2/§6.1 microbenchmark: a two-leaf
+    fabric with 15 spines at 1 Gbps, 100 µs RTT, DCTCP, 100 short + 3
+    long flows, deadlines U[5 ms, 25 ms].
+    """
+
+    # scheme ------------------------------------------------------------
+    scheme: str = "tlb"
+    scheme_params: dict = field(default_factory=dict)
+
+    # fabric --------------------------------------------------------------
+    n_leaves: int = 2
+    n_paths: int = 15
+    hosts_per_leaf: int = 8
+    link_rate: float = Gbps(1)
+    rtt: float = microseconds(100)
+    buffer_packets: int = 256
+    ecn_threshold: Optional[int] = 20
+    #: (leaf, spine, rate_factor, extra_delay) tuples for asymmetry
+    link_overrides: tuple = ()
+
+    # workload ------------------------------------------------------------
+    workload: str = "static"  # "static" | "poisson"
+    # static:
+    n_short: int = 100
+    n_long: int = 3
+    short_size_lo: int = KB(40)
+    short_size_hi: int = KB(100)
+    long_size: int = MB(10)
+    short_window: float = 0.05
+    #: one sender and one receiver per flow (the §2.2/§4.2 setup where
+    #: congestion is confined to the fabric); needs enough hosts per leaf
+    distinct_hosts: bool = False
+    # poisson:
+    sizes: str = "web_search"  # "web_search" | "data_mining"
+    load: float = 0.4
+    n_flows: int = 300
+    truncate_tail: Optional[float] = None
+    # deadlines:
+    deadline_lo: float = 5e-3
+    deadline_hi: float = 25e-3
+
+    # transport -----------------------------------------------------------
+    transport: str = "dctcp"  # "dctcp" | "tcp"
+    min_rto: Optional[float] = None  # None → max(10 ms, 3·RTT)
+    rwnd_bytes: int = 64 * 1024
+
+    # run -----------------------------------------------------------------
+    seed: int = 1
+    horizon: float = 2.0
+    slice_width: float = 0.01
+    timeseries: bool = False
+    #: bin width of the live time series, seconds
+    bin_width: float = 0.010
+    #: trace kinds to record ("enqueue", "dequeue", "drop", "deliver")
+    trace_kinds: tuple = ()
+    short_threshold: int = KB(100)
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("static", "poisson"):
+            raise ConfigError(f"unknown workload {self.workload!r}")
+        if self.transport not in _TRANSPORTS:
+            raise ConfigError(f"unknown transport {self.transport!r}")
+        if self.workload == "poisson" and self.sizes not in _SIZE_DISTRIBUTIONS:
+            raise ConfigError(f"unknown size distribution {self.sizes!r}")
+        if self.horizon <= 0 or self.slice_width <= 0:
+            raise ConfigError("horizon and slice_width must be positive")
+
+    def with_(self, **changes) -> "ScenarioConfig":
+        """A modified copy (sweep convenience)."""
+        return replace(self, **changes)
+
+    # -- derived pieces ----------------------------------------------------
+
+    def fabric_config(self) -> LeafSpineConfig:
+        return LeafSpineConfig(
+            n_leaves=self.n_leaves,
+            n_spines=self.n_paths,
+            hosts_per_leaf=self.hosts_per_leaf,
+            link_rate=self.link_rate,
+            rtt=self.rtt,
+            buffer_packets=self.buffer_packets,
+            ecn_threshold=self.ecn_threshold,
+            seed=self.seed,
+        )
+
+    def tcp_config(self) -> TcpConfig:
+        min_rto = self.min_rto
+        if min_rto is None:
+            min_rto = max(0.010, 3.0 * self.rtt)
+        return TcpConfig(
+            min_rto=min_rto,
+            rwnd_bytes=self.rwnd_bytes,
+            ecn_capable=(self.transport == "dctcp"),
+        )
+
+    def size_distribution(self) -> FlowSizeDistribution:
+        dist = _SIZE_DISTRIBUTIONS[self.sizes]
+        if self.truncate_tail is not None and isinstance(dist, PiecewiseCdf):
+            dist = PiecewiseCdf(
+                list(zip(dist.sizes.tolist(), dist.probs.tolist())),
+                name=f"{dist.name}_trunc",
+                truncate_at=self.truncate_tail,
+            )
+        return dist
+
+
+@dataclass
+class ScenarioResult:
+    """A finished run with full access to its internals.
+
+    Not picklable (holds the live network); parameter sweeps use
+    :func:`run_scenario_metrics`, which returns just the
+    :class:`~repro.metrics.collector.RunMetrics`.
+    """
+
+    config: ScenarioConfig
+    metrics: RunMetrics
+    net: Network
+    registry: FlowRegistry
+    collector: MetricsCollector
+    workload: WorkloadResult
+    balancers: dict
+    tracer: Any
+
+    @property
+    def completed_all(self) -> bool:
+        """Whether every flow delivered all data within the horizon."""
+        return all(s.completed is not None for s in self.registry.all_stats())
+
+
+def _build_network(config: ScenarioConfig):
+    tracer = RecordingTracer(set(config.trace_kinds)) if config.trace_kinds \
+        else NullTracer()
+    net = build_leaf_spine(config.fabric_config(), tracer=tracer)
+    if config.link_overrides:
+        overrides = [LinkOverride(*ov) for ov in config.link_overrides]
+        apply_asymmetry(net, overrides)
+    return net, tracer
+
+
+def _install_workload(config: ScenarioConfig, net, registry) -> WorkloadResult:
+    sender_cls = _TRANSPORTS[config.transport]
+    deadlines = UniformDeadlines(
+        config.deadline_lo, config.deadline_hi, config.short_threshold)
+    if config.workload == "static":
+        wl = StaticWorkload(
+            net, registry,
+            n_short=config.n_short,
+            n_long=config.n_long,
+            short_sizes=UniformSize(config.short_size_lo, config.short_size_hi),
+            long_size=config.long_size,
+            short_window=config.short_window,
+            deadlines=deadlines,
+            sender_cls=sender_cls,
+            tcp_config=config.tcp_config(),
+            distinct_hosts=config.distinct_hosts,
+        )
+    else:
+        wl = PoissonWorkload(
+            net, registry,
+            sizes=config.size_distribution(),
+            load=config.load,
+            n_flows=config.n_flows,
+            deadlines=deadlines,
+            sender_cls=sender_cls,
+            tcp_config=config.tcp_config(),
+        )
+    return wl.install()
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, run and measure one scenario.
+
+    Runs in ``slice_width`` steps until either every flow has delivered
+    all its data or ``config.horizon`` simulated seconds elapse.
+    """
+    net, tracer = _build_network(config)
+    registry = FlowRegistry()
+    collector = MetricsCollector(
+        registry,
+        short_threshold=config.short_threshold,
+        bin_width=config.bin_width,
+        timeseries=config.timeseries,
+    )
+    workload = _install_workload(config, net, registry)
+    balancers = attach_scheme(net, config.scheme, **config.scheme_params)
+
+    sim = net.sim
+    pending = {f.id for f in workload.flows}
+    done_ids: set[int] = set()
+    registry.subscribe_completion(lambda s: done_ids.add(s.flow.id))
+    t = 0.0
+    while t < config.horizon and len(done_ids) < len(pending):
+        t = min(t + config.slice_width, config.horizon)
+        sim.run(until=t)
+
+    metrics = collector.finalize(
+        net, scheme=config.scheme, horizon=sim.now, balancers=balancers)
+    metrics.extras["completed_all"] = len(done_ids) >= len(pending)
+    metrics.extras["seed"] = config.seed
+    metrics.extras["events"] = sim.events_processed
+    metrics.extras["long_reroutes"] = sum(
+        getattr(lb, "long_reroutes", 0) for lb in balancers.values())
+    return ScenarioResult(
+        config=config,
+        metrics=metrics,
+        net=net,
+        registry=registry,
+        collector=collector,
+        workload=workload,
+        balancers=balancers,
+        tracer=tracer,
+    )
+
+
+def run_scenario_metrics(config: ScenarioConfig) -> RunMetrics:
+    """Sweep-friendly wrapper: run and return only the picklable metrics."""
+    return run_scenario(config).metrics

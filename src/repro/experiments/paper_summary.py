@@ -1,0 +1,110 @@
+"""The paper's headline-claims scorecard, computed in one command.
+
+Runs the §4.2 microbenchmark and the §7 testbed scenario for every
+scheme and prints TLB's relative improvements next to the ranges the
+paper reports — the table EXPERIMENTS.md's scorecard is built from.
+
+``python -m repro.experiments.paper_summary`` (a few CPU-minutes), or
+call :func:`run_summary` with a smaller config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+from repro.experiments.report import format_table
+from repro.experiments.testbed import scheme_params_for, testbed_config
+
+__all__ = ["ClaimRow", "run_summary", "main"]
+
+BASELINES = ("ecmp", "rps", "presto", "letflow")
+
+#: the paper's claimed TLB improvements (AFCT reduction %, throughput gain %)
+PAPER_CLAIMS = {
+    "ecmp": ("18-40 %", "45-80 %"),
+    "rps": ("6-24 %", "-"),
+    "presto": ("5-21 %", "5-22 %"),
+    "letflow": ("10-15 %", "20-35 %"),
+}
+
+
+@dataclass(frozen=True)
+class ClaimRow:
+    """TLB's measured improvement over one baseline in one scenario."""
+
+    scenario: str
+    baseline: str
+    afct_reduction_pct: float
+    throughput_gain_pct: float
+    paper_afct: str
+    paper_throughput: str
+
+
+def microbenchmark_config(**overrides) -> ScenarioConfig:
+    """The §4.2/§6.1 mixture at reduced scale."""
+    base = dict(
+        n_paths=8, hosts_per_leaf=60, n_short=50, n_long=4,
+        long_size=2_000_000, short_window=0.01, horizon=1.0,
+        distinct_hosts=True)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def run_summary(
+    configs: Optional[dict[str, ScenarioConfig]] = None,
+    baselines: Sequence[str] = BASELINES,
+) -> list[ClaimRow]:
+    """Measure TLB vs every baseline in every scenario."""
+    if configs is None:
+        configs = {
+            "microbenchmark": microbenchmark_config(),
+            "testbed": testbed_config(
+                n_short=60, n_long=4, hosts_per_leaf=80,
+                long_size=2_000_000, short_window=0.5, horizon=45.0,
+                distinct_hosts=True),
+        }
+    rows: list[ClaimRow] = []
+    for scenario, base in configs.items():
+        tlb = run_scenario_metrics(base.with_(
+            scheme="tlb", scheme_params=scheme_params_for("tlb")
+            if scenario == "testbed" else {}))
+        for baseline in baselines:
+            m = run_scenario_metrics(base.with_(
+                scheme=baseline, scheme_params=scheme_params_for(baseline)
+                if scenario == "testbed" else {}))
+            afct_red = 100.0 * (1.0 - tlb.short_fct.mean / m.short_fct.mean)
+            thr_gain = 100.0 * (tlb.long_goodput_bps / m.long_goodput_bps - 1.0)
+            claims = PAPER_CLAIMS.get(baseline, ("-", "-"))
+            rows.append(ClaimRow(
+                scenario=scenario,
+                baseline=baseline,
+                afct_reduction_pct=afct_red,
+                throughput_gain_pct=thr_gain,
+                paper_afct=claims[0],
+                paper_throughput=claims[1],
+            ))
+    return rows
+
+
+def tabulate(rows: Sequence[ClaimRow]) -> str:
+    """Render the scorecard."""
+    return format_table(
+        ["scenario", "vs", "AFCT_reduction_%", "paper_AFCT",
+         "long_thr_gain_%", "paper_thr"],
+        [[r.scenario, r.baseline, r.afct_reduction_pct, r.paper_afct,
+          r.throughput_gain_pct, r.paper_throughput] for r in rows],
+        title="TLB headline claims — measured vs paper (testbed claims "
+              "are Fig. 13's bands)",
+        precision=1,
+    )
+
+
+def main() -> str:
+    """Run both scenarios and render the scorecard."""
+    return tabulate(run_summary())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,48 @@
+"""Plain-text tables — the benches print the same rows the figures plot."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+__all__ = ["format_table", "fmt"]
+
+
+def fmt(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, NaN prints as '-'."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value != 0 and (abs(value) >= 10**6 or abs(value) < 10**-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Column-aligned text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  -----
+    1  2.500
+    """
+    cells = [[fmt(c, precision) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Parallel parameter sweeps.
+
+Figure reproductions are sweeps of independent simulations (scheme ×
+load × seed ...), i.e. embarrassingly parallel.  Per the HPC guides,
+parallelism lives at the *task* level: each worker process runs one
+complete scenario (pure Python event loop, no shared state) and returns
+only the small picklable :class:`~repro.metrics.collector.RunMetrics`.
+
+``processes=0`` forces serial in-process execution — useful under pytest
+and on machines where fork is restricted; the default uses up to
+``os.cpu_count()`` workers but never more than the number of tasks.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+from repro.metrics.collector import RunMetrics
+
+__all__ = ["run_many", "sweep"]
+
+
+def run_many(
+    configs: Sequence[ScenarioConfig],
+    *,
+    processes: Optional[int] = None,
+    runner: Callable[[ScenarioConfig], RunMetrics] = run_scenario_metrics,
+) -> list[RunMetrics]:
+    """Run scenarios, preserving input order.
+
+    Parameters
+    ----------
+    processes:
+        ``0`` or ``1`` → serial.  ``None`` → ``min(cpu_count, len(configs))``.
+    runner:
+        The per-config function; replaceable for tests.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    if processes is None:
+        processes = min(os.cpu_count() or 1, len(configs))
+    if processes <= 1 or len(configs) == 1:
+        return [runner(c) for c in configs]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(runner, configs))
+
+
+def sweep(
+    base: ScenarioConfig,
+    axis: str,
+    values: Iterable,
+    *,
+    processes: Optional[int] = None,
+    **fixed,
+) -> list[tuple[object, RunMetrics]]:
+    """Vary one config field over ``values`` (other overrides in ``fixed``).
+
+    Returns ``[(value, metrics), ...]`` in value order.
+    """
+    values = list(values)
+    configs = [base.with_(**{axis: v}, **fixed) for v in values]
+    results = run_many(configs, processes=processes)
+    return list(zip(values, results))

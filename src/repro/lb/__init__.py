@@ -1,0 +1,58 @@
+"""Load-balancing schemes (the paper's baselines, §2/§8).
+
+Every scheme implements :class:`~repro.lb.base.LoadBalancer`: given a
+packet and the candidate equal-cost output ports, pick one.  Schemes are
+attached per switch (state is switch-local, as in real fabrics) via
+:func:`~repro.lb.registry.attach_scheme`.
+
+Implemented baselines:
+
+======== ===================================================================
+ECMP     per-flow hashing (RFC 2992) — the *de facto* scheme
+RPS      random packet spraying (Dixit et al., INFOCOM'13)
+Presto   64 KB flowcells, round-robin (He et al., SIGCOMM'15)
+LetFlow  flowlet switching with random repick (Vanini et al., NSDI'17)
+DRILL    per-packet power-of-two-choices + memory (Ghorbani et al.)
+CONGA    flowlet switching to the least-loaded uplink (simplified, local
+         congestion signal instead of fabric-wide feedback)
+WCMP     capacity-weighted flow hashing (asymmetry-aware ECMP variant)
+Fixed    fixed byte granularity G: flow-level (G=∞) ... packet-level (G=0)
+Hermes   cautious sent-bytes-gated rerouting (simplified, §8 contrast)
+FlowBndr congestion-triggered per-flow rehash (FlowBender, simplified)
+======== ===================================================================
+
+TLB itself lives in :mod:`repro.core` and registers under ``"tlb"``.
+"""
+
+from repro.lb.base import LbCounters, LoadBalancer, shortest_queue_index
+from repro.lb.ecmp import EcmpBalancer
+from repro.lb.rps import RpsBalancer
+from repro.lb.presto import PrestoBalancer
+from repro.lb.letflow import LetFlowBalancer
+from repro.lb.drill import DrillBalancer
+from repro.lb.conga import CongaLiteBalancer
+from repro.lb.wcmp import WcmpBalancer
+from repro.lb.granularity import FixedGranularityBalancer
+from repro.lb.flowbender import FlowBenderLiteBalancer
+from repro.lb.hermes import HermesLiteBalancer
+from repro.lb.registry import SCHEMES, attach_scheme, available_schemes, register_scheme
+
+__all__ = [
+    "LoadBalancer",
+    "LbCounters",
+    "shortest_queue_index",
+    "EcmpBalancer",
+    "RpsBalancer",
+    "PrestoBalancer",
+    "LetFlowBalancer",
+    "DrillBalancer",
+    "CongaLiteBalancer",
+    "WcmpBalancer",
+    "FixedGranularityBalancer",
+    "HermesLiteBalancer",
+    "FlowBenderLiteBalancer",
+    "SCHEMES",
+    "attach_scheme",
+    "available_schemes",
+    "register_scheme",
+]

@@ -1,0 +1,126 @@
+"""Load-balancer interface and shared machinery.
+
+Besides the decision hook itself, the base class carries the
+operation-accounting counters behind the Fig. 15 overhead reproduction:
+every scheme self-reports how many hash computations, queue-depth reads
+and per-flow state touches each decision costs, and how much state it
+holds.  :mod:`repro.metrics.overhead` turns those counters into the
+relative CPU/memory scores the figure compares.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import SchemeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+    from repro.net.switch import Switch
+
+__all__ = ["LbCounters", "LoadBalancer", "shortest_queue_index"]
+
+
+@dataclass
+class LbCounters:
+    """Per-switch operation/state accounting for overhead estimation."""
+
+    decisions: int = 0
+    hash_ops: int = 0
+    queue_reads: int = 0
+    state_reads: int = 0
+    state_writes: int = 0
+    rng_draws: int = 0
+    timer_ticks: int = 0
+    #: peak number of per-flow (or equivalent) state entries held
+    peak_entries: int = 0
+
+    def note_entries(self, current: int) -> None:
+        """Update the peak state-table size."""
+        if current > self.peak_entries:
+            self.peak_entries = current
+
+    def total_ops(self) -> int:
+        """All accounted per-packet operations (CPU proxy)."""
+        return (
+            self.hash_ops + self.queue_reads + self.state_reads
+            + self.state_writes + self.rng_draws
+        )
+
+
+def shortest_queue_index(ports: Sequence["Port"]) -> int:
+    """Index of the port whose queue drains soonest.
+
+    On a symmetric fabric this is simply the shortest queue (the paper's
+    wording).  Under bandwidth asymmetry a packet count is misleading —
+    three packets on a 5× slower link take 5× longer to clear — so the
+    comparison key is the estimated drain time ``queued bytes / rate``,
+    which reduces to byte-count ordering when rates are equal.  Ties
+    break towards the lowest index, which is deterministic and — because
+    candidate sets are in fixed spine order — stable across schemes,
+    keeping comparisons paired.
+    """
+    best = 0
+    best_key = ports[0].queue_bytes / ports[0].rate
+    for i in range(1, len(ports)):
+        key = ports[i].queue_bytes / ports[i].rate
+        if key < best_key:
+            best = i
+            best_key = key
+    return best
+
+
+class LoadBalancer:
+    """Base class: one instance per switch.
+
+    Subclasses implement :meth:`select_port` and may override
+    :meth:`on_bind` to install timers or inspect the switch.
+
+    Parameters
+    ----------
+    seed:
+        Seed for this instance's private RNG (schemes must not share RNG
+        state across switches, or decisions would couple).
+    """
+
+    #: registry name; subclasses override
+    name: str = "base"
+
+    def __init__(self, seed: int = 0):
+        self.switch: Optional["Switch"] = None
+        self.rng = random.Random(seed)
+        self.counters = LbCounters()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self, switch: "Switch") -> None:
+        """Called by :meth:`Switch.attach_lb`."""
+        if self.switch is not None:
+            raise SchemeError(
+                f"{self.name} balancer already bound to {self.switch.name}; "
+                "create one instance per switch"
+            )
+        self.switch = switch
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook for subclasses (timers, port inspection)."""
+
+    # -- the decision ------------------------------------------------------
+
+    def select_port(self, pkt: "Packet", ports: Sequence["Port"]) -> "Port":
+        """Pick the output port for ``pkt`` among equal-cost candidates."""
+        raise NotImplementedError
+
+    # -- introspection -------------------------------------------------------
+
+    def state_entries(self) -> int:
+        """Current number of per-flow state entries (memory proxy)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bound = self.switch.name if self.switch else "unbound"
+        return f"<{type(self).__name__} name={self.name!r} on {bound}>"

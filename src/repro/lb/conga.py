@@ -1,0 +1,60 @@
+"""CONGA-lite: congestion-aware flowlet switching (Alizadeh et al. 2014).
+
+Full CONGA piggybacks fabric-wide congestion feedback between leaf
+switches.  In a two-tier leaf–spine fabric the dominant congestion signal
+on a path through spine *s* is the local uplink queue towards *s*, so this
+simplification — flowlet switching to the uplink with the shortest local
+queue — captures CONGA's behaviour for the paper's scenarios.  The
+simplification is recorded in DESIGN.md; the paper itself compares against
+LetFlow (CONGA's stated approximation without feedback).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.lb.base import LoadBalancer, shortest_queue_index
+from repro.lb.letflow import DEFAULT_FLOWLET_TIMEOUT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+
+__all__ = ["CongaLiteBalancer"]
+
+
+class CongaLiteBalancer(LoadBalancer):
+    """Flowlet switching; pick the least-loaded uplink at each gap."""
+
+    name = "conga"
+
+    def __init__(self, seed: int = 0, flowlet_timeout: float = DEFAULT_FLOWLET_TIMEOUT):
+        super().__init__(seed)
+        self.flowlet_timeout = float(flowlet_timeout)
+        #: lb_key -> [port_index, last_packet_time]
+        self._flows: dict[tuple[int, bool], list] = {}
+
+    def select_port(self, pkt: "Packet", ports: Sequence["Port"]) -> "Port":
+        c = self.counters
+        c.decisions += 1
+        c.state_reads += 1
+        now = self.switch.sim.now
+        key = pkt.lb_key()
+        entry = self._flows.get(key)
+        if entry is None:
+            c.queue_reads += len(ports)
+            entry = [shortest_queue_index(ports), now]
+            self._flows[key] = entry
+            c.note_entries(len(self._flows))
+        else:
+            if now - entry[1] > self.flowlet_timeout:
+                c.queue_reads += len(ports)
+                entry[0] = shortest_queue_index(ports)
+            entry[1] = now
+        c.state_writes += 1
+        if pkt.ends_flow:
+            self._flows.pop(key, None)
+        return ports[entry[0] % len(ports)]
+
+    def state_entries(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,43 @@
+"""ECMP: static per-flow hashing (RFC 2992).
+
+The *de facto* baseline (paper §1).  A flow's five-tuple hash pins it to
+one uplink for its whole lifetime, so collisions of long flows on one
+path persist forever — the root cause of the long-tailed queueing delay
+the paper's motivation section demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.lb.base import LoadBalancer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+
+__all__ = ["EcmpBalancer"]
+
+#: 64-bit Fibonacci-hash multiplier (splitmix-style avalanche constant).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+class EcmpBalancer(LoadBalancer):
+    """Hash ``(flow, direction)`` with a per-switch salt onto the ports."""
+
+    name = "ecmp"
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self.salt = self.rng.getrandbits(64)
+
+    def select_port(self, pkt: "Packet", ports: Sequence["Port"]) -> "Port":
+        c = self.counters
+        c.decisions += 1
+        c.hash_ops += 1
+        key = (pkt.flow_id << 1) | pkt.is_ack
+        h = ((key * _GOLDEN) ^ self.salt) & _MASK
+        # Mix the high bits down: low bits of a multiplicative hash are weak.
+        h ^= h >> 33
+        return ports[h % len(ports)]

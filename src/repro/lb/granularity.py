@@ -1,0 +1,92 @@
+"""Fixed-granularity rerouting: the §2 motivation family.
+
+The paper's motivation study (§2.2, Figs. 3–4) compares rerouting *all*
+flows at a single fixed granularity — flow-level, flowlet-level or
+packet-level.  :class:`FixedGranularityBalancer` generalises that axis to
+"switch path every G bytes", optionally congestion-aware:
+
+* ``G = None``  → flow-level (never switch; equals ECMP modulo hashing)
+* ``G = 1500``  → packet-level (switch every packet; RPS/DRILL-like)
+* intermediate  → Presto-like chunking with a chosen cell size
+
+It is also the ablation knob for TLB: running TLB's long flows at a fixed
+``q_th`` reduces to this scheme plus per-packet short-flow spraying.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import SchemeError
+from repro.lb.base import LoadBalancer, shortest_queue_index
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+
+__all__ = ["FixedGranularityBalancer"]
+
+
+class FixedGranularityBalancer(LoadBalancer):
+    """Reroute every flow after each ``granularity_bytes`` of traffic.
+
+    Parameters
+    ----------
+    granularity_bytes:
+        Bytes between path switches; ``None`` means never switch
+        (flow-level).  A value no larger than one MSS yields packet-level
+        switching.
+    congestion_aware:
+        If True, each switch targets the shortest queue; otherwise a
+        uniformly random port (the motivation study uses oblivious
+        switching, like ECMP/RPS/LetFlow).
+    """
+
+    name = "fixed"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        granularity_bytes: Optional[int] = None,
+        congestion_aware: bool = False,
+    ):
+        super().__init__(seed)
+        if granularity_bytes is not None and granularity_bytes <= 0:
+            raise SchemeError("granularity_bytes must be positive or None")
+        self.granularity_bytes = granularity_bytes
+        self.congestion_aware = congestion_aware
+        #: lb_key -> [port_index, bytes_since_switch]
+        self._flows: dict[tuple[int, bool], list[int]] = {}
+
+    def _pick(self, ports: Sequence["Port"]) -> int:
+        if self.congestion_aware:
+            self.counters.queue_reads += len(ports)
+            return shortest_queue_index(ports)
+        self.counters.rng_draws += 1
+        return self.rng.randrange(len(ports))
+
+    def select_port(self, pkt: "Packet", ports: Sequence["Port"]) -> "Port":
+        c = self.counters
+        c.decisions += 1
+        c.state_reads += 1
+        key = pkt.lb_key()
+        entry = self._flows.get(key)
+        if entry is None:
+            entry = [self._pick(ports), 0]
+            self._flows[key] = entry
+            c.note_entries(len(self._flows))
+        chosen = entry[0] % len(ports)
+        if self.granularity_bytes is not None:
+            # Like Presto's cells: the packet crossing the boundary rides
+            # the old path; the switch applies from the next packet on.
+            entry[1] += pkt.size
+            if entry[1] >= self.granularity_bytes:
+                entry[0] = self._pick(ports)
+                entry[1] = 0
+        c.state_writes += 1
+        if pkt.ends_flow:
+            self._flows.pop(key, None)
+        return ports[chosen]
+
+    def state_entries(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,67 @@
+"""LetFlow: flowlet switching with random repick (Vanini et al., NSDI'17).
+
+A flow keeps its uplink while packets arrive back to back; whenever the
+inter-packet gap exceeds the flowlet timeout the flow is re-assigned to a
+*uniformly random* uplink.  LetFlow's insight is that flowlet sizes adapt
+automatically to path congestion, which also makes it resilient to
+asymmetry (paper §7) — but when flows never pause there are no flowlet
+gaps and no rerouting opportunities (paper §6.2's low-load weakness).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.lb.base import LoadBalancer
+from repro.units import microseconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+
+__all__ = ["LetFlowBalancer", "DEFAULT_FLOWLET_TIMEOUT"]
+
+#: The paper's flowlet timeout for the 1 Gbps experiments (§2.2, citing
+#: Hermes): 150 µs.  Testbed-scale configs pass a larger value.
+DEFAULT_FLOWLET_TIMEOUT = microseconds(150)
+
+
+class LetFlowBalancer(LoadBalancer):
+    """Flowlet switching; repick uniformly at random on each gap."""
+
+    name = "letflow"
+
+    def __init__(self, seed: int = 0, flowlet_timeout: float = DEFAULT_FLOWLET_TIMEOUT):
+        super().__init__(seed)
+        self.flowlet_timeout = float(flowlet_timeout)
+        #: lb_key -> [port_index, last_packet_time]
+        self._flows: dict[tuple[int, bool], list] = {}
+        self.flowlet_switches = 0
+
+    def select_port(self, pkt: "Packet", ports: Sequence["Port"]) -> "Port":
+        c = self.counters
+        c.decisions += 1
+        c.state_reads += 1
+        now = self.switch.sim.now
+        key = pkt.lb_key()
+        entry = self._flows.get(key)
+        if entry is None:
+            c.rng_draws += 1
+            entry = [self.rng.randrange(len(ports)), now]
+            self._flows[key] = entry
+            c.note_entries(len(self._flows))
+        else:
+            if now - entry[1] > self.flowlet_timeout:
+                c.rng_draws += 1
+                new_idx = self.rng.randrange(len(ports))
+                if new_idx != entry[0]:
+                    self.flowlet_switches += 1
+                entry[0] = new_idx
+            entry[1] = now
+        c.state_writes += 1
+        if pkt.ends_flow:
+            self._flows.pop(key, None)
+        return ports[entry[0] % len(ports)]
+
+    def state_entries(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,30 @@
+"""RPS: random packet spraying (Dixit et al., INFOCOM 2013).
+
+Every packet independently picks a uniformly random uplink.  Near-perfect
+load spread, maximal reordering — the other end of the granularity
+spectrum from ECMP (paper §2.1, Fig. 2b).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.lb.base import LoadBalancer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+
+__all__ = ["RpsBalancer"]
+
+
+class RpsBalancer(LoadBalancer):
+    """Uniform random port per packet; no per-flow state at all."""
+
+    name = "rps"
+
+    def select_port(self, pkt: "Packet", ports: Sequence["Port"]) -> "Port":
+        c = self.counters
+        c.decisions += 1
+        c.rng_draws += 1
+        return ports[self.rng.randrange(len(ports))]

@@ -1,0 +1,139 @@
+"""One-stop collection: wire trackers before a run, summarise after.
+
+:class:`MetricsCollector` subscribes the live trackers to a flow
+registry; after the simulation, :meth:`finalize` produces a
+:class:`RunMetrics` — the record every experiment driver returns and
+every benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.metrics.deadlines import deadline_miss_ratio
+from repro.metrics.fct import FctSummary, fct_summary, split_by_size
+from repro.metrics.overhead import OverheadModel, SchemeOverhead
+from repro.metrics.reordering import DupAckTracker, ReorderingSummary, reordering_summary
+from repro.metrics.throughput import ThroughputTracker, mean_long_goodput
+from repro.metrics.utilization import spread_summary
+from repro.net.topology import Network
+from repro.transport.flow import FlowRegistry
+from repro.units import KB, milliseconds
+
+__all__ = ["MetricsCollector", "RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one simulation run."""
+
+    scheme: str
+    horizon: float
+    short_fct: FctSummary
+    long_fct: FctSummary
+    all_fct: FctSummary
+    deadline_miss: float
+    long_goodput_bps: float
+    short_reordering: ReorderingSummary
+    long_reordering: ReorderingSummary
+    uplink_spread: dict
+    overhead: Optional[SchemeOverhead] = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable one-run report."""
+        lines = [
+            f"scheme={self.scheme}  horizon={self.horizon * 1e3:.1f} ms",
+            (
+                f"  short flows: n={self.short_fct.n_flows}"
+                f" completed={self.short_fct.n_completed}"
+                f" afct={self.short_fct.mean * 1e3:.3f} ms"
+                f" p99={self.short_fct.p99 * 1e3:.3f} ms"
+            ),
+            (
+                f"  long flows:  n={self.long_fct.n_flows}"
+                f" goodput={self.long_goodput_bps / 1e6:.1f} Mbps"
+            ),
+            f"  deadline miss ratio: {self.deadline_miss:.3f}",
+            (
+                f"  reordering (dup-ack ratio): short="
+                f"{self.short_reordering.dup_ack_ratio:.4f}"
+                f" long={self.long_reordering.dup_ack_ratio:.4f}"
+            ),
+            (
+                f"  uplinks: mean util={self.uplink_spread['mean_utilization']:.3f}"
+                f" jain={self.uplink_spread['jain_bytes']:.3f}"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """Subscribes live trackers and aggregates post-run statistics.
+
+    Parameters
+    ----------
+    registry:
+        The experiment's flow registry (must be the one flows are added
+        to *after* this collector is constructed, so no events are lost
+        — construct the collector before installing workloads).
+    short_threshold:
+        Short/long reporting split (paper: 100 KB), applied to the
+        flows' true sizes.
+    bin_width:
+        Time-bin width of the live series.
+    timeseries:
+        Disable to skip the live trackers (cheaper for big sweeps that
+        only need aggregates).
+    """
+
+    def __init__(
+        self,
+        registry: FlowRegistry,
+        *,
+        short_threshold: int = KB(100),
+        bin_width: float = milliseconds(10),
+        timeseries: bool = True,
+    ):
+        self.registry = registry
+        self.short_threshold = int(short_threshold)
+        self.throughput: Optional[ThroughputTracker] = None
+        self.dupacks: Optional[DupAckTracker] = None
+        if timeseries:
+            self.throughput = ThroughputTracker(bin_width, short_threshold)
+            self.dupacks = DupAckTracker(bin_width, short_threshold)
+            registry.subscribe_delivery(self.throughput.on_delivery)
+            registry.subscribe_dupack(self.dupacks.on_dupack)
+
+    def finalize(
+        self,
+        net: Network,
+        *,
+        scheme: str = "?",
+        horizon: Optional[float] = None,
+        balancers: Optional[dict] = None,
+        overhead_model: Optional[OverheadModel] = None,
+    ) -> RunMetrics:
+        """Aggregate everything measured up to ``horizon`` (default: now)."""
+        horizon = net.sim.now if horizon is None else horizon
+        stats = self.registry.all_stats()
+        short, long_ = split_by_size(stats, self.short_threshold)
+        overhead = None
+        if balancers:
+            model = overhead_model if overhead_model is not None else OverheadModel()
+            overhead = model.aggregate(scheme, balancers.values())
+        return RunMetrics(
+            scheme=scheme,
+            horizon=horizon,
+            short_fct=fct_summary(short),
+            long_fct=fct_summary(long_),
+            all_fct=fct_summary(stats),
+            deadline_miss=deadline_miss_ratio(stats),
+            long_goodput_bps=mean_long_goodput(
+                stats, self.short_threshold, horizon=horizon),
+            short_reordering=reordering_summary(short),
+            long_reordering=reordering_summary(long_),
+            uplink_spread=spread_summary(net.all_leaf_uplink_ports(), horizon),
+            overhead=overhead,
+        )

@@ -1,0 +1,34 @@
+"""Deadline miss accounting (Figs. 10c, 11c, 12c).
+
+A deadline-carrying flow misses if it completed after its deadline or
+never completed within the measured horizon.  Flows without deadlines
+(long flows) are excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.transport.flow import FlowStats
+
+__all__ = ["deadline_miss_ratio", "count_deadline_misses"]
+
+
+def count_deadline_misses(stats: Iterable[FlowStats]) -> tuple[int, int]:
+    """Returns ``(misses, deadline_flows)``."""
+    misses = 0
+    total = 0
+    for s in stats:
+        verdict = s.missed_deadline
+        if verdict is None:
+            continue
+        total += 1
+        if verdict:
+            misses += 1
+    return misses, total
+
+
+def deadline_miss_ratio(stats: Iterable[FlowStats]) -> float:
+    """Fraction of deadline-carrying flows that missed (NaN if none)."""
+    misses, total = count_deadline_misses(stats)
+    return misses / total if total else float("nan")

@@ -1,0 +1,113 @@
+"""Streaming quantile estimation: the P² algorithm (Jain & Chlamtac 1985).
+
+TLB's deadline statistics need a percentile of an unbounded observation
+stream.  The default implementation keeps a sliding window and sorts on
+demand — exact, and cheap at the 500 µs cadence.  For switches tracking
+many more flows, the P² estimator maintains a quantile in O(1) memory
+(five markers) and O(1) time per observation, with no stored samples.
+
+:class:`P2Quantile` is a drop-in backend for
+:class:`~repro.core.load_estimator.DeadlineStats`-style use: call
+:meth:`observe` per sample and :meth:`value` whenever needed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["P2Quantile"]
+
+
+class P2Quantile:
+    """P² estimator of the ``p``-quantile (``0 < p < 1``).
+
+    Exact for the first five observations; piecewise-parabolic marker
+    updates afterwards.
+    """
+
+    __slots__ = ("p", "_initial", "_q", "_n", "_np", "_dn", "count")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ConfigError(f"quantile must be in (0, 1), got {p!r}")
+        self.p = float(p)
+        self._initial: list[float] = []
+        self._q: list[float] = []       # marker heights
+        self._n: list[float] = []       # marker positions (1-based)
+        self._np: list[float] = []      # desired positions
+        self._dn: list[float] = []      # desired position increments
+        self.count = 0
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        self.count += 1
+        if self.count <= 5:
+            self._initial.append(float(x))
+            if self.count == 5:
+                self._bootstrap()
+            return
+        self._update(float(x))
+
+    def _bootstrap(self) -> None:
+        p = self.p
+        self._q = sorted(self._initial)
+        self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._np = [1.0, 1.0 + 2 * p, 1.0 + 4 * p, 3.0 + 2 * p, 5.0]
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def _update(self, x: float) -> None:
+        q, n = self._q, self._n
+        # 1. find the cell k containing x, clamping the extremes.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        # 2. shift positions above the cell.
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._np[i] += self._dn[i]
+        # 3. adjust interior markers towards their desired positions.
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or \
+               (d <= -1.0 and n[i - 1] - n[i] < -1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate.
+
+        Raises :class:`ConfigError` before any observation; exact (by
+        sorting) for fewer than five observations.
+        """
+        if self.count == 0:
+            raise ConfigError("no observations yet")
+        if self.count < 5:
+            s = sorted(self._initial)
+            idx = max(0, min(len(s) - 1, round(self.p * (len(s) - 1))))
+            return s[int(idx)]
+        return self._q[2]

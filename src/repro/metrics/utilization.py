@@ -1,0 +1,46 @@
+"""Link-utilisation metrics (Fig. 4a) and fairness across paths.
+
+The motivation figure shows that coarse granularities leave some uplinks
+idle while others saturate.  We report per-uplink utilisation (busy time
+over elapsed time) and Jain's fairness index over the uplink byte counts
+— 1.0 means perfectly balanced traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.net.port import Port
+
+__all__ = ["port_utilizations", "jain_index", "spread_summary"]
+
+
+def port_utilizations(ports: Sequence[Port], elapsed: float) -> np.ndarray:
+    """Busy-time fraction of each port over ``elapsed`` seconds."""
+    return np.asarray([p.stats.utilization(elapsed) for p in ports], dtype=float)
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` ∈ (0, 1]."""
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        return float("nan")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0:
+        return 1.0  # all-zero: trivially balanced
+    return float(np.sum(x)) ** 2 / denom
+
+
+def spread_summary(ports: Sequence[Port], elapsed: float) -> dict:
+    """Utilisation mean/min/max plus byte-level fairness for a port set."""
+    util = port_utilizations(ports, elapsed)
+    tx_bytes = np.asarray([p.stats.bytes_transmitted for p in ports], dtype=float)
+    return {
+        "mean_utilization": float(util.mean()) if util.size else float("nan"),
+        "min_utilization": float(util.min()) if util.size else float("nan"),
+        "max_utilization": float(util.max()) if util.size else float("nan"),
+        "jain_bytes": jain_index(tx_bytes),
+        "total_bytes": int(tx_bytes.sum()),
+    }

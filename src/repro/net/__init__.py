@@ -1,0 +1,33 @@
+"""Network substrate: packets, queued ports, switches, hosts, topologies.
+
+This is the data-plane half of the NS2 substitute.  A network is a set of
+:class:`~repro.net.node.Node` objects (hosts and switches) connected by
+unidirectional :class:`~repro.net.port.Port` objects, each of which owns a
+finite FIFO queue and a link with a serialisation rate and propagation
+delay.  Multi-path forwarding decisions at switches are delegated to a
+load-balancer object (see :mod:`repro.lb` and :mod:`repro.core`).
+"""
+
+from repro.net.packet import Packet
+from repro.net.port import Port, PortStats
+from repro.net.node import Node
+from repro.net.switch import Switch
+from repro.net.host import Host
+from repro.net.topology import LeafSpineConfig, Network, build_leaf_spine, build_two_leaf_fabric
+from repro.net.asymmetry import LinkOverride, apply_asymmetry, random_degraded_links
+
+__all__ = [
+    "Packet",
+    "Port",
+    "PortStats",
+    "Node",
+    "Switch",
+    "Host",
+    "Network",
+    "LeafSpineConfig",
+    "build_leaf_spine",
+    "build_two_leaf_fabric",
+    "LinkOverride",
+    "apply_asymmetry",
+    "random_degraded_links",
+]

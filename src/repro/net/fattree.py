@@ -1,0 +1,109 @@
+"""k-ary fat-tree builder (Al-Fares et al.), the paper's other topology.
+
+The paper's evaluation uses leaf–spine, but its introduction frames TLB
+for "multi-rooted tree networks such as Fat-tree and Clos".  This
+builder produces the standard 3-tier k-ary fat tree — (k/2)² cores,
+k pods of k/2 aggregation + k/2 edge switches, (k/2)² hosts per pod —
+wired into the same :class:`~repro.net.topology.Network` container, with
+ECMP candidate sets derived by the generic routing module.  All schemes
+(including TLB) attach unchanged: any switch with a multi-path route
+gets a balancer.
+
+Note the tiering: ``Network.leaves`` maps to the edge switches and
+``Network.spines`` to the cores, so fabric-wide helpers (uplink
+utilisation, asymmetry injection between "leaf" and "spine") keep
+working where they make sense; pod-internal aggregation switches are in
+``Network.switches`` like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TopologyError
+from repro.net.host import Host
+from repro.net.routing import install_ecmp_routes
+from repro.net.switch import Switch
+from repro.net.topology import LeafSpineConfig, Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NullTracer, Tracer
+from repro.units import Gbps, microseconds
+
+__all__ = ["build_fat_tree"]
+
+
+def build_fat_tree(
+    k: int = 4,
+    *,
+    link_rate: float = Gbps(1),
+    rtt: float = microseconds(100),
+    buffer_packets: int = 256,
+    ecn_threshold: Optional[int] = 20,
+    seed: int = 1,
+    sim: Optional[Simulator] = None,
+    tracer: Optional[Tracer] = None,
+    rngs: Optional[RngRegistry] = None,
+) -> Network:
+    """Build a k-ary fat tree (k even, >= 2) with ECMP routes installed.
+
+    Hosts are named ``h0 .. h{k^3/4 - 1}``; switches ``edge{p}_{i}``,
+    ``agg{p}_{i}`` and ``core{i}``.  The per-link one-way delay is
+    ``rtt / 12`` (a worst-case inter-pod path crosses six links each
+    way).
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"fat tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    sim = sim if sim is not None else Simulator()
+    tracer = tracer if tracer is not None else NullTracer()
+    rngs = rngs if rngs is not None else RngRegistry(seed)
+
+    # Reuse the Network container; its config records the coarse shape
+    # (n_paths = equal-cost core paths between pods = (k/2)^2).
+    config = LeafSpineConfig(
+        n_leaves=k * half,       # edge switches
+        n_spines=half * half,    # cores
+        hosts_per_leaf=half,
+        link_rate=link_rate,
+        rtt=rtt,
+        buffer_packets=buffer_packets,
+        ecn_threshold=ecn_threshold,
+        seed=seed,
+    )
+    net = Network(sim, config, tracer, rngs)
+    delay = rtt / 12.0
+
+    cores = [Switch(sim, f"core{i}") for i in range(half * half)]
+    for c in cores:
+        net.switches[c.name] = c
+        net.spines.append(c)
+
+    host_idx = 0
+    from repro.net.topology import _link  # shared two-directional wiring
+
+    for p in range(k):
+        aggs = [Switch(sim, f"agg{p}_{i}") for i in range(half)]
+        edges = [Switch(sim, f"edge{p}_{i}") for i in range(half)]
+        for s in aggs + edges:
+            net.switches[s.name] = s
+        net.leaves.extend(edges)
+        for e in edges:
+            for _ in range(half):
+                h = Host(sim, f"h{host_idx}")
+                net.hosts[h.name] = h
+                net.leaf_of[h.name] = e.name
+                host_idx += 1
+                _link(net, h.name, e.name, link_rate, delay,
+                      buffer_packets, ecn_threshold)
+            for a in aggs:
+                _link(net, e.name, a.name, link_rate, delay,
+                      buffer_packets, ecn_threshold)
+        for i, a in enumerate(aggs):
+            for j in range(half):
+                core = cores[i * half + j]
+                _link(net, a.name, core.name, link_rate, delay,
+                      buffer_packets, ecn_threshold)
+
+    install_ecmp_routes(net)
+    return net

@@ -1,0 +1,30 @@
+"""Base class shared by hosts and switches."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+
+__all__ = ["Node"]
+
+
+class Node:
+    """Anything that can receive a packet from a port.
+
+    Subclasses implement :meth:`receive`.  Nodes are identified by a
+    unique string ``name`` which is also what routing tables key on.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def receive(self, pkt: "Packet") -> None:
+        """Handle an arriving packet."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,126 @@
+"""The packet: the unit everything else moves around.
+
+Packets are deliberately mutable, slotted objects — a single simulated run
+creates hundreds of thousands of them, so attribute access cost and
+per-instance memory dominate.  Sequence numbers are *packet* indices within
+a flow (0, 1, 2, ...), not byte offsets; the transport layer guarantees all
+data packets except possibly the last carry a full MSS, which is the same
+simplification NS2's FTP/TCP agents make.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.units import DEFAULT_HEADER
+
+__all__ = ["Packet", "ACK_SIZE"]
+
+#: Size on the wire of a pure ACK (TCP/IP headers only).
+ACK_SIZE = DEFAULT_HEADER
+
+
+class Packet:
+    """One packet on the wire.
+
+    Attributes
+    ----------
+    flow_id:
+        Integer id of the owning flow; shared by both directions.
+    src, dst:
+        Host names (strings); switches route on ``dst``.
+    seq:
+        Data direction: packet index within the flow.  ACK direction: the
+        cumulative acknowledgement (next expected packet index).
+    size:
+        Bytes on the wire, headers included.
+    is_ack, syn, fin:
+        TCP flag bits.  ``syn and not is_ack`` marks a new flow at the
+        switch; ``fin and not is_ack`` marks its end (paper §5).
+    ecn_capable, ecn_marked, ecn_echo:
+        DCTCP machinery: ``ecn_marked`` (CE) is set by congested queues on
+        data packets, ``ecn_echo`` carries it back on ACKs.
+    deadline:
+        Absolute deadline of the flow in seconds, carried on the SYN so a
+        TLB switch can build deadline statistics (paper §5); ``None`` when
+        the application exposes no deadline.
+    sent_time:
+        When the transport handed the packet to the NIC; used for latency
+        metrics and RTT sampling.
+    enqueued_at:
+        Transient per-hop timestamp used to measure queue waiting time;
+        overwritten at every hop.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "seq",
+        "size",
+        "is_ack",
+        "syn",
+        "fin",
+        "ecn_capable",
+        "ecn_marked",
+        "ecn_echo",
+        "deadline",
+        "sent_time",
+        "enqueued_at",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        seq: int,
+        size: int,
+        *,
+        is_ack: bool = False,
+        syn: bool = False,
+        fin: bool = False,
+        ecn_capable: bool = False,
+        ecn_marked: bool = False,
+        ecn_echo: bool = False,
+        deadline: Optional[float] = None,
+        sent_time: float = 0.0,
+    ):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.size = size
+        self.is_ack = is_ack
+        self.syn = syn
+        self.fin = fin
+        self.ecn_capable = ecn_capable
+        self.ecn_marked = ecn_marked
+        self.ecn_echo = ecn_echo
+        self.deadline = deadline
+        self.sent_time = sent_time
+        self.enqueued_at = 0.0
+
+    def lb_key(self) -> tuple[int, bool]:
+        """Key identifying this packet's flow *and direction* for
+        per-flow load-balancer state (data and ACK streams are balanced
+        independently, as they traverse opposite uplinks)."""
+        return (self.flow_id, self.is_ack)
+
+    @property
+    def starts_flow(self) -> bool:
+        """True for the forward-direction SYN (new flow at the switch)."""
+        return self.syn and not self.is_ack
+
+    @property
+    def ends_flow(self) -> bool:
+        """True for the forward-direction FIN (flow teardown at the switch)."""
+        return self.fin and not self.is_ack
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "ACK" if self.is_ack else "DATA"
+        flags = "".join(f for f, on in (("S", self.syn), ("F", self.fin)) if on)
+        return (
+            f"<Packet f{self.flow_id} {kind}{flags} seq={self.seq} "
+            f"{self.src}->{self.dst} {self.size}B>"
+        )

@@ -1,0 +1,246 @@
+"""Output ports: a finite drop-tail FIFO plus a serialising link.
+
+This is where every interesting data-plane behaviour of the paper lives:
+queue build-up (Figs. 2/3/5), drop-tail loss, DCTCP's instantaneous-queue
+ECN marking, and the queue-length signal that TLB, DRILL and CONGA-lite
+read when picking paths.
+
+Model
+-----
+A :class:`Port` is the *output* side of a unidirectional link.  Enqueueing
+a packet on an idle port starts transmission immediately; otherwise the
+packet waits in FIFO order.  Transmission holds the transmitter for the
+serialisation delay ``size * 8 / rate``; the packet is then in flight for
+the propagation ``delay`` and finally delivered to the neighbour node.
+Propagation pipelines (multiple packets can be in flight); serialisation
+does not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer, NullTracer
+from repro.units import BITS_PER_BYTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+
+__all__ = ["Port", "PortStats"]
+
+_NULL_TRACER = NullTracer()
+
+
+class PortStats:
+    """Counters accumulated by one port over a run."""
+
+    __slots__ = (
+        "enqueued",
+        "dropped",
+        "transmitted",
+        "bytes_enqueued",
+        "bytes_transmitted",
+        "ecn_marked",
+        "busy_time",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dropped = 0
+        self.transmitted = 0
+        self.bytes_enqueued = 0
+        self.bytes_transmitted = 0
+        self.ecn_marked = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the transmitter was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class Port:
+    """A finite FIFO output queue feeding a fixed-rate link.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Human-readable name, e.g. ``"leaf0->spine3"``.
+    rate:
+        Link bandwidth in bits/s.
+    delay:
+        One-way propagation delay in seconds.
+    dst:
+        The node that receives packets from this port.
+    buffer_packets:
+        Queue capacity in packets (the paper sizes buffers in packets:
+        256 or 512).  The packet in transmission does not occupy a slot.
+    ecn_threshold:
+        Instantaneous-queue marking threshold *K* in packets; ``None``
+        disables marking.  DCTCP's recommended K for 1 Gbps is ~20 pkts.
+    tracer:
+        Optional trace sink; receives ``enqueue``/``drop``/``deliver``
+        trace points when enabled.
+    loss_rate, loss_rng:
+        Fault injection: drop each arriving packet independently with
+        this probability (before queueing), using ``loss_rng`` (a
+        ``random.Random``-like object with ``.random()``).  Zero by
+        default; used by robustness tests and failure-injection
+        experiments, not by the paper reproductions.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "rate",
+        "delay",
+        "dst",
+        "buffer_packets",
+        "ecn_threshold",
+        "tracer",
+        "_queue",
+        "_busy",
+        "stats",
+        "queue_bytes",
+        "loss_rate",
+        "loss_rng",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate: float,
+        delay: float,
+        dst: "Node",
+        *,
+        buffer_packets: int = 256,
+        ecn_threshold: Optional[int] = None,
+        tracer: Tracer | None = None,
+        loss_rate: float = 0.0,
+        loss_rng=None,
+    ):
+        if rate <= 0:
+            raise ConfigError(f"port {name}: rate must be positive, got {rate!r}")
+        if delay < 0:
+            raise ConfigError(f"port {name}: delay must be non-negative, got {delay!r}")
+        if buffer_packets < 1:
+            raise ConfigError(f"port {name}: buffer must hold >=1 packet")
+        if ecn_threshold is not None and ecn_threshold < 1:
+            raise ConfigError(f"port {name}: ECN threshold must be >=1 packet")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigError(f"port {name}: loss_rate must be in [0, 1)")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ConfigError(f"port {name}: loss_rate needs a loss_rng")
+        self.sim = sim
+        self.name = name
+        self.rate = float(rate)
+        self.delay = float(delay)
+        self.dst = dst
+        self.buffer_packets = int(buffer_packets)
+        self.ecn_threshold = ecn_threshold
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
+        self._queue: deque[Packet] = deque()
+        self._busy = False
+        self.stats = PortStats()
+        self.queue_bytes = 0
+        self.loss_rate = float(loss_rate)
+        self.loss_rng = loss_rng
+
+    # -- queue state (the congestion signals LB schemes read) ------------
+
+    @property
+    def queue_length(self) -> int:
+        """Instantaneous queue occupancy in packets (excludes the packet
+        currently being serialised, matching how NS2 reports queue size)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a packet is currently being serialised."""
+        return self._busy
+
+    def serialization_delay(self, nbytes: int) -> float:
+        """Time to clock ``nbytes`` onto this link."""
+        return (nbytes * BITS_PER_BYTE) / self.rate
+
+    # -- data path --------------------------------------------------------
+
+    def enqueue(self, pkt: "Packet") -> bool:
+        """Accept a packet for transmission.
+
+        Returns ``True`` if the packet was queued (or began transmitting),
+        ``False`` if it was dropped because the buffer was full.
+        """
+        stats = self.stats
+        if self.loss_rate > 0.0 and self.loss_rng.random() < self.loss_rate:
+            stats.dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
+                    seq=pkt.seq, is_ack=pkt.is_ack, injected=True,
+                )
+            return False
+        if len(self._queue) >= self.buffer_packets:
+            stats.dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "drop", port=self.name, flow=pkt.flow_id, seq=pkt.seq,
+                    is_ack=pkt.is_ack,
+                )
+            return False
+        # DCTCP-style marking on the instantaneous queue at enqueue time.
+        if (
+            self.ecn_threshold is not None
+            and pkt.ecn_capable
+            and not pkt.is_ack
+            and len(self._queue) >= self.ecn_threshold
+        ):
+            pkt.ecn_marked = True
+            stats.ecn_marked += 1
+        pkt.enqueued_at = self.sim.now
+        stats.enqueued += 1
+        stats.bytes_enqueued += pkt.size
+        self.queue_bytes += pkt.size
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, "enqueue", port=self.name, flow=pkt.flow_id,
+                seq=pkt.seq, qlen=len(self._queue), is_ack=pkt.is_ack,
+            )
+        self._queue.append(pkt)
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        pkt = self._queue.popleft()
+        self.queue_bytes -= pkt.size
+        self._busy = True
+        tx = self.serialization_delay(pkt.size)
+        self.stats.busy_time += tx
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, "dequeue", port=self.name, flow=pkt.flow_id,
+                seq=pkt.seq, wait=self.sim.now - pkt.enqueued_at, is_ack=pkt.is_ack,
+            )
+        self.sim.call_later(tx, self._transmission_done, pkt)
+
+    def _transmission_done(self, pkt: "Packet") -> None:
+        self.stats.transmitted += 1
+        self.stats.bytes_transmitted += pkt.size
+        # Propagation pipelines: hand off and immediately start the next.
+        self.sim.call_later(self.delay, self.dst.receive, pkt)
+        if self._queue:
+            self._start_transmission()
+        else:
+            self._busy = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Port {self.name} qlen={self.queue_length} busy={self._busy}>"

@@ -1,0 +1,98 @@
+"""The switch: routing table + load-balancer hook.
+
+A switch owns one output :class:`~repro.net.port.Port` per neighbour and a
+routing table mapping destination host → candidate output ports.  When a
+destination has several equal-cost candidates (the uplinks of a leaf
+switch, in a leaf–spine fabric) the decision is delegated to the attached
+load balancer — which is exactly the hook the paper's schemes (§2, §8) and
+TLB itself (§3) occupy.
+
+The switch never reorders packets itself; any reordering observed by
+receivers is caused purely by path-change decisions of the balancer, as in
+the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import RoutingError, TopologyError
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lb.base import LoadBalancer
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+
+__all__ = ["Switch"]
+
+
+class Switch(Node):
+    """A store-and-forward switch with per-destination ECMP port sets."""
+
+    __slots__ = ("sim", "ports", "routes", "lb", "packets_forwarded")
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(name)
+        self.sim = sim
+        #: neighbour name -> output port towards that neighbour
+        self.ports: dict[str, "Port"] = {}
+        #: destination host name -> tuple of candidate output ports
+        self.routes: dict[str, tuple["Port", ...]] = {}
+        self.lb: Optional["LoadBalancer"] = None
+        self.packets_forwarded = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_port(self, neighbour: str, port: "Port") -> None:
+        """Register the output port towards ``neighbour``."""
+        if neighbour in self.ports:
+            raise TopologyError(f"{self.name}: duplicate port to {neighbour}")
+        self.ports[neighbour] = port
+
+    def set_route(self, dst_host: str, ports: Sequence["Port"]) -> None:
+        """Install the candidate output ports for ``dst_host``."""
+        if not ports:
+            raise TopologyError(f"{self.name}: empty port set for {dst_host}")
+        self.routes[dst_host] = tuple(ports)
+
+    def attach_lb(self, lb: "LoadBalancer") -> None:
+        """Attach the multi-path decision maker.
+
+        The balancer is told about its switch so schemes that need
+        periodic work (TLB's granularity updates) can install timers.
+        """
+        self.lb = lb
+        lb.bind(self)
+
+    # -- data path ----------------------------------------------------------
+
+    def receive(self, pkt: "Packet") -> None:
+        """Forward ``pkt`` towards ``pkt.dst``.
+
+        Single-candidate destinations bypass the balancer entirely
+        (down-direction traffic in a leaf–spine fabric); multi-candidate
+        destinations ask the balancer to pick the uplink.
+        """
+        try:
+            candidates = self.routes[pkt.dst]
+        except KeyError:
+            raise RoutingError(f"{self.name}: no route to {pkt.dst!r}") from None
+        self.packets_forwarded += 1
+        if len(candidates) == 1:
+            port = candidates[0]
+        else:
+            if self.lb is None:
+                raise RoutingError(
+                    f"{self.name}: {len(candidates)} candidate ports for "
+                    f"{pkt.dst!r} but no load balancer attached"
+                )
+            port = self.lb.select_port(pkt, candidates)
+        port.enqueue(pkt)
+
+    # -- introspection helpers (used by experiments/metrics) ---------------
+
+    def uplinks_for(self, dst_host: str) -> tuple["Port", ...]:
+        """The candidate port set for a destination (for tests/metrics)."""
+        return self.routes[dst_host]

@@ -1,0 +1,32 @@
+"""Discrete-event simulation engine.
+
+This subpackage is the NS2 substitute: a minimal, fast, deterministic
+event-driven kernel on which the network substrate (:mod:`repro.net`) and
+transport agents (:mod:`repro.transport`) run.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` — event heap + clock.
+* :class:`~repro.sim.engine.Event` — a scheduled callback (cancelable).
+* :class:`~repro.sim.timers.PeriodicTimer` — fixed-interval callbacks
+  (used for TLB's 500 µs granularity updates and flow-table sampling).
+* :class:`~repro.sim.rng.RngRegistry` — named, independently seeded random
+  streams so that e.g. workload arrivals and RPS path choices are
+  decoupled and each experiment is reproducible from one root seed.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import NullTracer, RecordingTracer, Tracer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "PeriodicTimer",
+    "RngRegistry",
+    "derive_seed",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+]

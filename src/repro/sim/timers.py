@@ -1,0 +1,89 @@
+"""Periodic timers built on the event kernel.
+
+TLB's switch logic is driven by two fixed-interval activities (paper §3/§5):
+the granularity calculator re-derives ``q_th`` every ``t = 500 µs`` and the
+flow table samples for idle flows on the same interval.  Both are expressed
+as :class:`PeriodicTimer` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigError
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["PeriodicTimer"]
+
+
+class PeriodicTimer:
+    """Invoke a callback every ``interval`` simulated seconds.
+
+    The timer re-arms itself *after* the callback runs, so a callback that
+    raises stops the timer rather than looping an error forever.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    interval:
+        Period in seconds; must be positive.
+    fn:
+        Callback, invoked as ``fn(*args)``.
+    start_at:
+        Absolute time of the first firing.  Defaults to ``sim.now +
+        interval`` (i.e. the first period elapses before the first tick).
+    """
+
+    __slots__ = ("_sim", "interval", "_fn", "_args", "_event", "ticks")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start_at: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ConfigError(f"timer interval must be positive, got {interval!r}")
+        self._sim = sim
+        self.interval = float(interval)
+        self._fn = fn
+        self._args = args
+        self.ticks = 0
+        first = sim.now + self.interval if start_at is None else start_at
+        self._event: Optional[Event] = sim.schedule(first, self._fire)
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer will fire again."""
+        return self._event is not None and self._event is not _CANCELLED
+
+    def _fire(self) -> None:
+        self._event = None
+        self.ticks += 1
+        self._fn(*self._args)
+        # Only re-arm if the callback did not cancel us.
+        if self._event is None and not self._cancelled_during_callback():
+            self._event = self._sim.call_later(self.interval, self._fire)
+
+    def _cancelled_during_callback(self) -> bool:
+        # ``cancel`` sets _event to a sentinel False value distinct from None
+        return self._event is _CANCELLED
+
+    def cancel(self) -> None:
+        """Stop the timer.  Safe to call from within the callback."""
+        if self._event is not None and self._event is not _CANCELLED:
+            self._event.cancel()
+        self._event = _CANCELLED  # type: ignore[assignment]
+
+
+class _CancelledSentinel:
+    __slots__ = ()
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return False
+
+
+_CANCELLED = _CancelledSentinel()

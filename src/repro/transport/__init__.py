@@ -1,0 +1,32 @@
+"""Transport layer: window-based TCP and DCTCP agents.
+
+The paper's analysis relies on a handful of transport behaviours, all of
+which are modelled here:
+
+* short flows finish in slow start, first sending 2 packets, then 4, 8,
+  ... (Eq. 3's round count);
+* long flows run at a receive-window cap ``W_L`` (64 KB) once past slow
+  start (Eq. 1);
+* three duplicate ACKs trigger a fast retransmit and a window cut — the
+  mechanism that turns path-change reordering into throughput loss
+  (Figs. 3b, 4b);
+* DCTCP's ECN-fraction window scaling (the paper's underlying transport).
+"""
+
+from repro.transport.flow import Flow, FlowRegistry, FlowStats
+from repro.transport.rto import RtoEstimator
+from repro.transport.tcp import TcpConfig, TcpSender
+from repro.transport.dctcp import DctcpSender
+from repro.transport.receiver import TcpReceiver, make_listener
+
+__all__ = [
+    "Flow",
+    "FlowStats",
+    "FlowRegistry",
+    "RtoEstimator",
+    "TcpConfig",
+    "TcpSender",
+    "DctcpSender",
+    "TcpReceiver",
+    "make_listener",
+]

@@ -1,0 +1,126 @@
+"""Passive (receiver) side of a flow: cumulative ACKs and dup-ACK generation.
+
+The receiver is where the paper's reordering metrics come from: every
+out-of-order arrival is buffered and answered with a duplicate cumulative
+ACK (Fig. 3b counts these), and in-order delivery progress feeds the
+throughput time series (Fig. 9b).  ACKs are sent per data packet (no
+delayed ACK), which is what makes three dup ACKs a reliable reordering
+signal in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.packet import ACK_SIZE, Packet
+from repro.sim.engine import Simulator
+from repro.transport.flow import Flow, FlowRegistry, FlowStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+__all__ = ["TcpReceiver", "make_listener"]
+
+
+class TcpReceiver:
+    """Reassembles one flow and generates cumulative ACKs."""
+
+    __slots__ = (
+        "sim", "host", "flow", "stats", "registry",
+        "rcv_nxt", "_ooo_buffer", "_last_ack_value", "finished",
+    )
+
+    def __init__(self, sim: Simulator, host: "Host", flow: Flow, stats: FlowStats,
+                 registry: FlowRegistry):
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.stats = stats
+        self.registry = registry
+        self.rcv_nxt = 0
+        self._ooo_buffer: set[int] = set()
+        self._last_ack_value = -1
+        self.finished = False
+
+    def handle(self, pkt: Packet) -> None:
+        """Consume one data-direction packet."""
+        if pkt.syn:
+            self._send_control_ack(syn=True, echo=pkt.ecn_marked)
+            return
+        if pkt.fin:
+            if self.rcv_nxt >= self.flow.n_packets:
+                self._send_control_ack(fin=True, echo=pkt.ecn_marked)
+            else:
+                # FIN raced ahead of retransmitted data; re-assert our hole.
+                self._send_data_ack(echo=pkt.ecn_marked)
+            return
+        self._handle_data(pkt)
+
+    def _handle_data(self, pkt: Packet) -> None:
+        self.stats.packets_received += 1
+        if pkt.ecn_marked:
+            self.stats.ecn_marks += 1
+        seq = pkt.seq
+        if seq == self.rcv_nxt:
+            delivered = self._advance(seq)
+            self.stats.bytes_delivered += delivered
+            self.registry.notify_delivery(self.flow, self.sim.now, delivered)
+            if self.rcv_nxt >= self.flow.n_packets and not self.finished:
+                self.finished = True
+                self.stats.completed = self.sim.now
+                self.registry.notify_completion(self.stats)
+        elif seq > self.rcv_nxt:
+            self.stats.out_of_order += 1
+            self._ooo_buffer.add(seq)
+        # else: spurious retransmission of already-delivered data.
+        self._send_data_ack(echo=pkt.ecn_marked)
+
+    def _advance(self, seq: int) -> int:
+        """Deliver ``seq`` plus any now-contiguous buffered packets;
+        returns the number of payload bytes delivered in order."""
+        delivered = self.flow.payload_of(seq)
+        self.rcv_nxt = seq + 1
+        while self.rcv_nxt in self._ooo_buffer:
+            self._ooo_buffer.discard(self.rcv_nxt)
+            delivered += self.flow.payload_of(self.rcv_nxt)
+            self.rcv_nxt += 1
+        return delivered
+
+    # -- ACK construction -------------------------------------------------
+
+    def _send_data_ack(self, *, echo: bool) -> None:
+        ack = Packet(
+            self.flow.id, self.flow.dst, self.flow.src, self.rcv_nxt, ACK_SIZE,
+            is_ack=True, ecn_echo=echo,
+        )
+        self.stats.acks_sent += 1
+        if self.rcv_nxt == self._last_ack_value:
+            self.stats.dup_acks_sent += 1
+            self.registry.notify_dupack(self.flow, self.sim.now)
+        self._last_ack_value = self.rcv_nxt
+        self.host.send(ack)
+
+    def _send_control_ack(self, *, syn: bool = False, fin: bool = False,
+                          echo: bool = False) -> None:
+        ack = Packet(
+            self.flow.id, self.flow.dst, self.flow.src, self.rcv_nxt, ACK_SIZE,
+            is_ack=True, syn=syn, fin=fin, ecn_echo=echo,
+        )
+        self.host.send(ack)
+
+
+def make_listener(
+    sim: Simulator, registry: FlowRegistry
+) -> Callable[["Host", Packet], TcpReceiver]:
+    """Passive-open factory to install on every host.
+
+    When a host sees the first packet of an unknown flow (its SYN), this
+    builds the matching :class:`TcpReceiver` from the registry's flow
+    descriptor.
+    """
+
+    def listener(host: "Host", pkt: Packet) -> TcpReceiver:
+        flow = registry.flow(pkt.flow_id)
+        return TcpReceiver(sim, host, flow, registry.stats(pkt.flow_id), registry)
+
+    return listener

@@ -1,0 +1,79 @@
+"""Retransmission-timeout estimation (Jacobson/Karels + Karn's rule).
+
+Data-center RTTs are microseconds, so the classic 200 ms/1 s minimum RTO
+would dwarf every FCT in the paper; NS2 DCTCP studies conventionally drop
+the floor to single-digit milliseconds.  The floor is a parameter
+(:class:`~repro.transport.tcp.TcpConfig` sets 10 ms by default at 1 Gbps
+scale; testbed-scale configs raise it).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["RtoEstimator"]
+
+#: RFC 6298 gains.
+_ALPHA = 1.0 / 8.0
+_BETA = 1.0 / 4.0
+
+
+class RtoEstimator:
+    """Smoothed-RTT/variance RTO with exponential backoff.
+
+    Parameters
+    ----------
+    min_rto, max_rto:
+        Clamp bounds in seconds.
+    initial_rto:
+        RTO used before the first RTT sample.
+    """
+
+    __slots__ = ("min_rto", "max_rto", "_srtt", "_rttvar", "_rto", "_backoff")
+
+    def __init__(self, min_rto: float = 0.010, max_rto: float = 2.0,
+                 initial_rto: float | None = None):
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ConfigError(f"invalid RTO bounds [{min_rto}, {max_rto}]")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+        self._rto = initial_rto if initial_rto is not None else min(3 * min_rto, max_rto)
+        self._backoff = 1
+
+    @property
+    def srtt(self) -> float | None:
+        """Smoothed RTT, or ``None`` before the first sample."""
+        return self._srtt
+
+    @property
+    def rto(self) -> float:
+        """Current timeout value (with any backoff applied).
+
+        Backoff multiplies the *clamped* base: with a microsecond-scale
+        SRTT the raw estimate sits far below ``min_rto``, and doubling
+        it would never escape the floor — consecutive timeouts must
+        still space out exponentially.
+        """
+        base = max(self.min_rto, self._rto)
+        return min(self.max_rto, base * self._backoff)
+
+    def sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (Karn: callers must not sample
+        retransmitted segments) and clear any timeout backoff."""
+        if rtt < 0:
+            raise ConfigError(f"negative RTT sample {rtt!r}")
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2
+        else:
+            err = rtt - self._srtt
+            self._rttvar = (1 - _BETA) * self._rttvar + _BETA * abs(err)
+            self._srtt = (1 - _ALPHA) * self._srtt + _ALPHA * rtt
+        self._rto = self._srtt + max(4 * self._rttvar, 1e-6)
+        self._backoff = 1
+
+    def on_timeout(self) -> None:
+        """Double the timeout (bounded by ``max_rto``)."""
+        self._backoff = min(self._backoff * 2, 64)

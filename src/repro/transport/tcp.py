@@ -1,0 +1,343 @@
+"""A window-based TCP Reno/NewReno-style sender.
+
+This is the NS2 ``Agent/TCP`` substitute.  The model is packet-granular:
+sequence numbers count MSS-sized packets, the congestion window is a float
+number of packets, and ACKs are cumulative.  Behaviours that matter to the
+paper are implemented faithfully:
+
+* **slow start** doubling from an initial window of 2 packets — Eq. 3's
+  2, 4, 8, ... rounds for short flows;
+* a **receive-window cap** (64 KB by default, the Linux default the paper
+  cites) that pins long flows at ``W_L`` — the quantity in Eq. 1;
+* **fast retransmit** on 3 duplicate ACKs with NewReno partial-ACK
+  recovery — how path-change reordering is (mis)interpreted as loss;
+* **RTO** with exponential backoff and go-back-N recovery.
+
+DCTCP (the paper's default transport) extends this class in
+:mod:`repro.transport.dctcp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ConfigError, TransportError
+from repro.net.packet import ACK_SIZE, Packet
+from repro.sim.engine import Event, Simulator
+from repro.transport.flow import Flow, FlowStats
+from repro.transport.rto import RtoEstimator
+from repro.units import DEFAULT_HEADER, KiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+__all__ = ["TcpConfig", "TcpSender"]
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Tunables shared by all TCP-family senders.
+
+    ``rwnd_bytes`` is the receiver-buffer cap: the paper's ``W_L``
+    (64 KB by default in Linux, §4.1).  ``min_rto`` defaults to 10 ms —
+    the conventional reduced floor for 1 Gbps data-center simulation;
+    testbed-scale experiments (20 Mbps, 1 ms links) raise it.
+    """
+
+    initial_cwnd: float = 2.0
+    rwnd_bytes: int = KiB(64)
+    dupack_threshold: int = 3
+    min_rto: float = 0.010
+    max_rto: float = 2.0
+    #: initial slow-start threshold, in packets ("infinite" by default)
+    initial_ssthresh: float = 1e9
+    ecn_capable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.initial_cwnd < 1:
+            raise ConfigError("initial_cwnd must be >= 1 packet")
+        if self.rwnd_bytes < 1:
+            raise ConfigError("rwnd_bytes must be positive")
+        if self.dupack_threshold < 1:
+            raise ConfigError("dupack_threshold must be >= 1")
+
+    def max_cwnd_packets(self, mss: int) -> float:
+        """The receive-window cap expressed in packets of ``mss`` bytes."""
+        return max(1.0, self.rwnd_bytes / mss)
+
+    def scaled(self, **changes) -> "TcpConfig":
+        """A copy with some fields replaced (convenience for experiments)."""
+        return replace(self, **changes)
+
+
+# Sender states.
+_SLOW_START = 0
+_CONG_AVOID = 1
+_FAST_RECOVERY = 2
+
+
+class TcpSender:
+    """Active side of one flow.
+
+    Parameters
+    ----------
+    sim, host:
+        The simulator and the host this sender lives on (``host.name``
+        must equal ``flow.src``).
+    flow:
+        What to transfer.
+    stats:
+        The shared stats record (normally from the
+        :class:`~repro.transport.flow.FlowRegistry`).
+    config:
+        TCP tunables.
+    on_close:
+        Optional callback invoked when the connection fully closes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        flow: Flow,
+        stats: FlowStats,
+        config: Optional[TcpConfig] = None,
+        on_close: Optional[Callable[["TcpSender"], None]] = None,
+    ):
+        if host.name != flow.src:
+            raise TransportError(
+                f"sender for flow {flow.id} placed on {host.name}, expected {flow.src}"
+            )
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.stats = stats
+        self.config = config if config is not None else TcpConfig()
+        self.on_close = on_close
+
+        self.n = flow.n_packets
+        self.snd_una = 0          # lowest unacknowledged data seq
+        self.snd_nxt = 0          # next new data seq to send
+        self.cwnd = self.config.initial_cwnd
+        self.ssthresh = self.config.initial_ssthresh
+        self.max_cwnd = self.config.max_cwnd_packets(flow.mss)
+        self.state = _SLOW_START
+        self.dupacks = 0
+        self.recover = 0          # NewReno: highest seq sent when loss detected
+        self.established = False
+        self.fin_sent = False
+        self.closed = False
+
+        self.rto = RtoEstimator(self.config.min_rto, self.config.max_rto)
+        self._rto_event: Optional[Event] = None
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+
+        host.register_sender(flow.id, self)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Open the connection by sending the SYN."""
+        self.stats.syn_sent = self.sim.now
+        self._send_syn()
+
+    def _send_syn(self) -> None:
+        pkt = Packet(
+            self.flow.id, self.flow.src, self.flow.dst, 0, DEFAULT_HEADER,
+            syn=True, ecn_capable=self.config.ecn_capable,
+            deadline=self.flow.deadline,
+        )
+        self.host.send(pkt)
+        self._arm_rto()
+
+    @property
+    def effective_window(self) -> float:
+        """min(cwnd, receiver window), in packets."""
+        return min(self.cwnd, self.max_cwnd)
+
+    @property
+    def in_flight(self) -> int:
+        """Outstanding (sent, unacked) packets."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def done(self) -> bool:
+        """All data acknowledged."""
+        return self.snd_una >= self.n
+
+    # -- inbound --------------------------------------------------------
+
+    def handle(self, pkt: Packet) -> None:
+        """Consume an ACK-direction packet addressed to this sender."""
+        if self.closed:
+            return
+        if pkt.syn:  # SYN-ACK completes the handshake
+            if not self.established:
+                self.established = True
+                self.stats.established = self.sim.now
+                self.rto.sample(self.sim.now - self.stats.syn_sent)
+                self._arm_rto()
+                self._try_send()
+            return
+        if pkt.fin:  # FIN-ACK: connection fully closed
+            self._close()
+            return
+        self._handle_ack(pkt)
+
+    def _handle_ack(self, pkt: Packet) -> None:
+        ack = pkt.seq  # cumulative: next expected data seq
+        if ack > self.n:
+            raise TransportError(f"flow {self.flow.id}: ack {ack} beyond {self.n}")
+        self._on_ecn_feedback(pkt)
+        if ack > self.snd_una:
+            self._on_new_ack(ack)
+        elif not self.done:
+            self._on_dup_ack()
+        self._try_send()
+        if self.done and not self.fin_sent:
+            self.stats.acked = self.sim.now
+            self._send_fin()
+
+    def _on_new_ack(self, ack: int) -> None:
+        newly = ack - self.snd_una
+        self.snd_una = ack
+        self.dupacks = 0
+        # RTT sampling (Karn's rule: skip retransmitted segments).
+        sample_seq = ack - 1
+        sent_at = self._send_times.pop(sample_seq, None)
+        for s in range(ack - newly, ack - 1):
+            self._send_times.pop(s, None)
+        if sent_at is not None and sample_seq not in self._retransmitted:
+            self.rto.sample(self.sim.now - sent_at)
+
+        if self.state == _FAST_RECOVERY:
+            if ack >= self.recover:
+                # Full recovery: deflate to ssthresh and resume CA.
+                self.cwnd = self.ssthresh
+                self.state = _CONG_AVOID
+            else:
+                # NewReno partial ACK: the next hole is also lost.
+                self._retransmit(self.snd_una)
+                self.cwnd = max(1.0, self.cwnd - newly + 1)
+        else:
+            self._grow_window(newly)
+
+        if self.done:
+            self._cancel_rto()
+        else:
+            self._arm_rto()
+
+    def _grow_window(self, newly_acked: int) -> None:
+        if self.state == _SLOW_START:
+            self.cwnd += newly_acked
+            if self.cwnd >= self.ssthresh:
+                self.state = _CONG_AVOID
+        else:
+            self.cwnd += newly_acked / self.cwnd
+        self.cwnd = min(self.cwnd, self.max_cwnd)
+
+    def _on_dup_ack(self) -> None:
+        self.dupacks += 1
+        self.stats.dup_acks_received += 1
+        if self.state == _FAST_RECOVERY:
+            self.cwnd += 1  # window inflation per extra dup
+            self.cwnd = min(self.cwnd, self.max_cwnd + self.config.dupack_threshold)
+            return
+        if self.dupacks >= self.config.dupack_threshold and self.snd_una < self.n:
+            self._enter_fast_recovery()
+
+    def _enter_fast_recovery(self) -> None:
+        self.ssthresh = max(self.effective_window / 2.0, 2.0)
+        self.cwnd = self.ssthresh + self.config.dupack_threshold
+        self.recover = self.snd_nxt
+        self.state = _FAST_RECOVERY
+        self._retransmit(self.snd_una)
+        self._arm_rto()
+
+    # -- ECN hook (overridden by DCTCP) ----------------------------------
+
+    def _on_ecn_feedback(self, pkt: Packet) -> None:
+        """Plain TCP ignores ECN echoes; DCTCP overrides."""
+
+    # -- outbound ----------------------------------------------------------
+
+    def _try_send(self) -> None:
+        if not self.established or self.closed:
+            return
+        budget = int(self.effective_window) - self.in_flight
+        while budget > 0 and self.snd_nxt < self.n:
+            self._transmit(self.snd_nxt, retransmission=False)
+            self.snd_nxt += 1
+            budget -= 1
+
+    def _transmit(self, seq: int, *, retransmission: bool) -> None:
+        payload = self.flow.payload_of(seq)
+        pkt = Packet(
+            self.flow.id, self.flow.src, self.flow.dst, seq,
+            payload + DEFAULT_HEADER, ecn_capable=self.config.ecn_capable,
+        )
+        self.stats.packets_sent += 1
+        if retransmission:
+            self.stats.retransmits += 1
+            self._retransmitted.add(seq)
+        else:
+            self._send_times[seq] = self.sim.now
+        self.host.send(pkt)
+
+    def _retransmit(self, seq: int) -> None:
+        self._transmit(seq, retransmission=True)
+
+    def _send_fin(self) -> None:
+        self.fin_sent = True
+        pkt = Packet(
+            self.flow.id, self.flow.src, self.flow.dst, self.n, DEFAULT_HEADER,
+            fin=True, ecn_capable=self.config.ecn_capable,
+        )
+        self.host.send(pkt)
+        self._arm_rto()
+
+    # -- timers ------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        self._rto_event = self.sim.call_later(self.rto.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.closed:
+            return
+        self.rto.on_timeout()
+        if not self.established:
+            self._send_syn()  # SYN lost: retry
+            return
+        if self.fin_sent:
+            self._send_fin()  # FIN or FIN-ACK lost: retry
+            return
+        self.stats.timeouts += 1
+        # Go-back-N: collapse the window and resend from the hole.
+        self.ssthresh = max(self.effective_window / 2.0, 2.0)
+        self.cwnd = self.config.initial_cwnd
+        self.state = _SLOW_START
+        self.dupacks = 0
+        self.snd_nxt = self.snd_una
+        self._retransmitted.update(self._send_times)
+        self._send_times.clear()
+        self._try_send()
+        self._arm_rto()
+
+    def _close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.stats.closed = self.sim.now
+        self._cancel_rto()
+        self.host.unregister_flow(self.flow.id)
+        if self.on_close is not None:
+            self.on_close(self)

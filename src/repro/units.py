@@ -1,0 +1,125 @@
+"""Unit conventions and conversion helpers.
+
+The simulator uses a small, fixed set of base units everywhere:
+
+====================  =====================================
+quantity              base unit
+====================  =====================================
+time                  seconds (``float``)
+data size             bytes (``int``)
+rate / bandwidth      bits per second (``float``)
+queue length          packets (``int``) or bytes (``int``)
+====================  =====================================
+
+All public APIs take and return base units.  The helpers below exist so
+experiment configurations can be written the way the paper states them
+(``Gbps(1)``, ``microseconds(100)``, ``KB(64)``) without sprinkling magic
+multipliers through the code.
+"""
+
+from __future__ import annotations
+
+#: Bits per byte; used when converting link rates to byte service times.
+BITS_PER_BYTE = 8
+
+#: Default TCP maximum segment size used throughout the paper's analysis
+#: (1.5 kB packets: 1460 B payload + 40 B TCP/IP header, as in NS2 defaults).
+DEFAULT_MSS = 1460
+
+#: Size of a full packet on the wire (MSS + TCP/IP headers).
+DEFAULT_HEADER = 40
+DEFAULT_PACKET_BYTES = DEFAULT_MSS + DEFAULT_HEADER
+
+
+# --- time ------------------------------------------------------------------
+
+def seconds(value: float) -> float:
+    """Identity helper for symmetry with the other time constructors."""
+    return float(value)
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def nanoseconds(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return float(value) * 1e-9
+
+
+def as_milliseconds(t: float) -> float:
+    """Convert seconds to milliseconds (for reporting)."""
+    return t * 1e3
+
+
+def as_microseconds(t: float) -> float:
+    """Convert seconds to microseconds (for reporting)."""
+    return t * 1e6
+
+
+# --- sizes -----------------------------------------------------------------
+
+def B(value: float) -> int:
+    """Bytes (identity, rounded to an int)."""
+    return int(round(value))
+
+
+def KB(value: float) -> int:
+    """Kilobytes (decimal, as used by the paper: 100KB thresholds etc.)."""
+    return int(round(value * 1e3))
+
+
+def MB(value: float) -> int:
+    """Megabytes (decimal)."""
+    return int(round(value * 1e6))
+
+
+def KiB(value: float) -> int:
+    """Kibibytes (binary; Linux's 64KB receive buffer is 64 KiB)."""
+    return int(round(value * 1024))
+
+
+# --- rates -----------------------------------------------------------------
+
+def bps(value: float) -> float:
+    """Bits per second (identity)."""
+    return float(value)
+
+
+def Kbps(value: float) -> float:
+    """Kilobits per second."""
+    return float(value) * 1e3
+
+
+def Mbps(value: float) -> float:
+    """Megabits per second."""
+    return float(value) * 1e6
+
+
+def Gbps(value: float) -> float:
+    """Gigabits per second."""
+    return float(value) * 1e9
+
+
+def serialization_delay(nbytes: int, rate_bps: float) -> float:
+    """Time to clock ``nbytes`` onto a link of ``rate_bps``.
+
+    Raises
+    ------
+    ValueError
+        If the rate is not positive.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps!r}")
+    return (nbytes * BITS_PER_BYTE) / rate_bps
+
+
+def bytes_in_interval(rate_bps: float, interval: float) -> float:
+    """How many bytes a link of ``rate_bps`` drains in ``interval`` seconds."""
+    return rate_bps * interval / BITS_PER_BYTE

@@ -1,0 +1,111 @@
+"""Plain-text rendering helpers for terminal output.
+
+No plotting dependencies are available offline, so the examples render
+series and distributions as monospace text: sparklines for time series,
+horizontal bars for per-category magnitudes, and a fixed-grid CDF.
+These are deliberately unstyled (no colour, pure ASCII/Unicode blocks)
+so they survive logs and CI output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "hbar_chart", "cdf_plot"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Iterable[float], width: int | None = None) -> str:
+    """One-line block rendering of a series.
+
+    NaNs render as spaces; a constant series renders at mid-height.
+    ``width`` resamples the series to that many characters (mean per
+    bucket).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if width is not None and width > 0 and arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([
+            np.nanmean(arr[a:b]) if b > a else float("nan")
+            for a, b in zip(edges[:-1], edges[1:])
+        ])
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not math.isfinite(v):
+            out.append(" ")
+        elif span == 0:
+            out.append(_BLOCKS[3])
+        else:
+            idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+            out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def hbar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+    precision: int = 2,
+) -> str:
+    """Horizontal bars, scaled to the largest value.
+
+    >>> print(hbar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a  ████ 2.00
+    b  ██   1.00
+    """
+    if not items:
+        return ""
+    label_w = max(len(name) for name, _ in items)
+    peak = max((v for _, v in items if math.isfinite(v)), default=0.0)
+    lines = []
+    for name, v in items:
+        if not math.isfinite(v):
+            bar, shown = "?", "-"
+        else:
+            n = int(round(width * v / peak)) if peak > 0 else 0
+            bar = "█" * n + " " * (width - n)
+            shown = f"{v:.{precision}f}{unit}"
+        lines.append(f"{name.ljust(label_w)}  {bar} {shown}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    values: Iterable[float],
+    *,
+    width: int = 60,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """A fixed-grid empirical CDF: x spans [min, max], y spans [0, 1]."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        return "(no data)"
+    lo, hi = float(arr[0]), float(arr[-1])
+    grid = [[" "] * width for _ in range(height)]
+    xs = np.linspace(lo, hi, width) if hi > lo else np.full(width, lo)
+    # fraction of samples <= x, per column
+    fracs = np.searchsorted(arr, xs, side="right") / arr.size
+    for col, frac in enumerate(fracs):
+        row = min(height - 1, int((1.0 - frac) * height))
+        grid[row][col] = "█"
+    lines = []
+    for i, row in enumerate(grid):
+        y = 1.0 - i / height
+        lines.append(f"{y:4.1f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:.3g}{' ' * max(1, width - 12)}{hi:.3g}")
+    if label:
+        lines.append(f"      {label}")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Flow-size distributions.
+
+The two production distributions below are the standard discretisations
+used across the load-balancing literature the paper builds on:
+
+* ``WEB_SEARCH`` — the DCTCP (Alizadeh et al., SIGCOMM 2010) web-search
+  cluster: ~30 % of flows above 1 MB (paper §6.2's characterisation),
+  with substantial mass of medium flows between 100 KB and 1 MB;
+* ``DATA_MINING`` — the VL2 (Greenberg et al.) data-mining cluster: a
+  sharper split, >80 % of flows under 10 KB with a very long tail (the
+  paper notes "less than 5 % flows larger than 35 MB").
+
+Sampling is vectorised inverse-transform over a piecewise-linear CDF —
+one :func:`numpy.interp` call per batch, per the HPC guides' "vectorise
+the workload path" idiom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import KB, MB
+
+__all__ = [
+    "FlowSizeDistribution",
+    "PiecewiseCdf",
+    "UniformSize",
+    "FixedSize",
+    "WEB_SEARCH",
+    "DATA_MINING",
+]
+
+
+class FlowSizeDistribution:
+    """Interface: draw flow sizes in bytes."""
+
+    name: str = "base"
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` sizes (int64 bytes, each >= 1)."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected flow size in bytes."""
+        raise NotImplementedError
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(size <= threshold) — e.g. the short-flow share."""
+        raise NotImplementedError
+
+
+class PiecewiseCdf(FlowSizeDistribution):
+    """Piecewise-linear CDF given as (size, cumulative probability) knots.
+
+    The first knot's probability may exceed 0 (a point mass at the
+    minimum size) and the last must be exactly 1.
+
+    Parameters
+    ----------
+    points:
+        Monotone knots ``[(size_bytes, cdf), ...]``.
+    truncate_at:
+        Optional hard cap on sampled sizes.  Scaled-down experiments cap
+        the extreme tail (e.g. VL2's gigabyte flows) while keeping the
+        body of the distribution intact; the cap is applied at sampling
+        time so :meth:`mean` reflects it.
+    """
+
+    def __init__(self, points: list[tuple[float, float]], name: str = "piecewise",
+                 truncate_at: float | None = None):
+        if len(points) < 2:
+            raise ConfigError("need at least two CDF knots")
+        sizes = np.asarray([p[0] for p in points], dtype=float)
+        probs = np.asarray([p[1] for p in points], dtype=float)
+        if np.any(np.diff(sizes) <= 0):
+            raise ConfigError("CDF knot sizes must be strictly increasing")
+        if np.any(np.diff(probs) < 0):
+            raise ConfigError("CDF knot probabilities must be non-decreasing")
+        if probs[-1] != 1.0:
+            raise ConfigError(f"last CDF knot must be 1.0, got {probs[-1]}")
+        if probs[0] < 0:
+            raise ConfigError("CDF probabilities must be >= 0")
+        if sizes[0] < 1:
+            raise ConfigError("flow sizes must be >= 1 byte")
+        if truncate_at is not None and truncate_at < sizes[0]:
+            raise ConfigError("truncate_at is below the smallest knot")
+        self.name = name
+        self.sizes = sizes
+        self.probs = probs
+        self.truncate_at = truncate_at
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.random(n)
+        # Inverse transform: u below the first knot maps to the minimum
+        # size (point mass); np.interp handles the rest linearly.
+        raw = np.interp(u, self.probs, self.sizes)
+        if self.truncate_at is not None:
+            np.minimum(raw, self.truncate_at, out=raw)
+        return np.maximum(raw, 1.0).astype(np.int64)
+
+    def mean(self) -> float:
+        sizes = self.sizes if self.truncate_at is None else np.minimum(
+            self.sizes, self.truncate_at)
+        # Point mass at the minimum plus trapezoids over linear segments.
+        m = self.probs[0] * sizes[0]
+        dp = np.diff(self.probs)
+        mids = (sizes[:-1] + sizes[1:]) / 2.0
+        return float(m + np.sum(dp * mids))
+
+    def fraction_below(self, threshold: float) -> float:
+        t = float(threshold)
+        if t < self.sizes[0]:
+            return 0.0
+        if t >= self.sizes[-1]:
+            return 1.0
+        return float(np.interp(t, self.sizes, self.probs))
+
+
+class UniformSize(FlowSizeDistribution):
+    """Uniform sizes on [lo, hi] bytes (the §2.2/§4.2 short flows:
+    "random size of less than 100KB" with a 70 KB mean → [40 KB, 100 KB])."""
+
+    def __init__(self, lo: int, hi: int, name: str = "uniform"):
+        if not 1 <= lo <= hi:
+            raise ConfigError(f"need 1 <= lo <= hi, got [{lo}, {hi}]")
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.name = name
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.integers(self.lo, self.hi + 1, size=n, dtype=np.int64)
+
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def fraction_below(self, threshold: float) -> float:
+        if threshold < self.lo:
+            return 0.0
+        if threshold >= self.hi:
+            return 1.0
+        return (threshold - self.lo) / (self.hi - self.lo)
+
+
+class FixedSize(FlowSizeDistribution):
+    """Degenerate distribution: every flow has the same size."""
+
+    def __init__(self, size: int, name: str = "fixed"):
+        if size < 1:
+            raise ConfigError(f"size must be >= 1 byte, got {size}")
+        self.size = int(size)
+        self.name = name
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.size, dtype=np.int64)
+
+    def mean(self) -> float:
+        return float(self.size)
+
+    def fraction_below(self, threshold: float) -> float:
+        return 1.0 if threshold >= self.size else 0.0
+
+
+#: DCTCP web-search cluster flow sizes (bytes, CDF).
+WEB_SEARCH = PiecewiseCdf(
+    [
+        (KB(1), 0.00),
+        (KB(6), 0.15),
+        (KB(13), 0.20),
+        (KB(19), 0.30),
+        (KB(33), 0.40),
+        (KB(53), 0.53),
+        (KB(133), 0.60),
+        (KB(667), 0.70),
+        (MB(1.467), 0.80),
+        (MB(2.107), 0.90),
+        (MB(6.667), 0.97),
+        (MB(20), 1.00),
+    ],
+    name="web_search",
+)
+
+#: VL2 data-mining cluster flow sizes (bytes, CDF).
+DATA_MINING = PiecewiseCdf(
+    [
+        (100, 0.00),
+        (180, 0.10),
+        (250, 0.20),
+        (560, 0.30),
+        (900, 0.40),
+        (1100, 0.50),
+        (1870, 0.60),
+        (3160, 0.70),
+        (KB(10), 0.80),
+        (KB(400), 0.90),
+        (MB(3.16), 0.95),
+        (MB(35), 0.98),
+        (MB(100), 1.00),
+    ],
+    name="data_mining",
+)

@@ -1,0 +1,284 @@
+"""Workload installation: turn distributions into scheduled flows.
+
+Two generators cover the paper's scenarios:
+
+* :class:`StaticWorkload` — the §2.2/§4.2/§6.1 microbenchmark: a fixed
+  number of long flows starting at t=0 from leaf-0 senders, plus a fixed
+  number of short flows arriving as a Poisson stream, all towards leaf-1
+  receivers.
+* :class:`PoissonWorkload` — the §6.2 large-scale pattern: flows arrive
+  by a Poisson process between random host pairs on different leaves,
+  with sizes from a heavy-tailed distribution and the aggregate rate set
+  by a target load (fraction of aggregate edge bandwidth).
+
+Both draw every random quantity from named RNG streams of the network's
+registry, so workloads are identical across schemes compared at the same
+seed (paired comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Type
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.topology import Network
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow, FlowRegistry
+from repro.transport.receiver import make_listener
+from repro.transport.tcp import TcpConfig, TcpSender
+from repro.units import KB, MB
+from repro.workload.deadlines import UniformDeadlines
+from repro.workload.distributions import FlowSizeDistribution, UniformSize
+
+__all__ = ["WorkloadResult", "PoissonWorkload", "StaticWorkload"]
+
+
+@dataclass
+class WorkloadResult:
+    """What a generator installed: the flows and their senders."""
+
+    flows: list[Flow] = field(default_factory=list)
+    senders: dict[int, TcpSender] = field(default_factory=dict)
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    @property
+    def last_arrival(self) -> float:
+        """Latest flow start time (0 if empty)."""
+        return max((f.start_time for f in self.flows), default=0.0)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self.flows)
+
+
+def _install_listeners(net: Network, registry: FlowRegistry) -> None:
+    listener = make_listener(net.sim, registry)
+    for host in net.hosts.values():
+        if host.listener is None:
+            host.set_listener(listener)
+
+
+def _schedule_flow(
+    net: Network,
+    registry: FlowRegistry,
+    flow: Flow,
+    sender_cls: Type[TcpSender],
+    tcp_config: Optional[TcpConfig],
+    result: WorkloadResult,
+) -> None:
+    stats = registry.add(flow)
+    sender = sender_cls(net.sim, net.hosts[flow.src], flow, stats, tcp_config)
+    net.sim.schedule(flow.start_time, sender.start)
+    result.flows.append(flow)
+    result.senders[flow.id] = sender
+
+
+class StaticWorkload:
+    """Fixed mixture: ``n_long`` long flows at t=0 + ``n_short`` short
+    flows arriving Poisson over ``short_window`` seconds.
+
+    Senders are the hosts under the first leaf, receivers the hosts under
+    the second (the §2.2 picture: all traffic crosses the spine tier).
+    Flow endpoints are drawn uniformly per flow.
+
+    Parameters mirror the paper's defaults: short sizes uniform
+    [40 KB, 100 KB] (mean 70 KB, all < 100 KB), long flows 10 MB,
+    deadlines uniform [5 ms, 25 ms] on short flows.
+
+    ``distinct_hosts=True`` gives every flow its own sender and its own
+    receiver ("each sender sends a DCTCP flow to a receiver", §2.2/§4.2)
+    so no two flows share an edge link — congestion then happens only in
+    the fabric, where the load balancer acts.  Requires at least
+    ``n_short + n_long`` hosts per leaf.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        registry: FlowRegistry,
+        *,
+        n_short: int = 100,
+        n_long: int = 3,
+        short_sizes: Optional[FlowSizeDistribution] = None,
+        long_size: int = MB(10),
+        short_window: float = 0.05,
+        deadlines: Optional[UniformDeadlines] = None,
+        sender_cls: Type[TcpSender] = DctcpSender,
+        tcp_config: Optional[TcpConfig] = None,
+        flow_id_base: int = 0,
+        long_start: float = 0.0,
+        short_start: float = 0.0,
+        distinct_hosts: bool = False,
+    ):
+        if n_short < 0 or n_long < 0:
+            raise ConfigError("flow counts must be non-negative")
+        if n_short + n_long == 0:
+            raise ConfigError("workload needs at least one flow")
+        if short_window <= 0:
+            raise ConfigError("short_window must be positive")
+        if len(net.leaves) < 2:
+            raise ConfigError("StaticWorkload needs at least two leaves")
+        if distinct_hosts and n_short + n_long > net.config.hosts_per_leaf:
+            raise ConfigError(
+                f"distinct_hosts needs {n_short + n_long} hosts per leaf, "
+                f"fabric has {net.config.hosts_per_leaf}"
+            )
+        self.distinct_hosts = distinct_hosts
+        self.net = net
+        self.registry = registry
+        self.n_short = n_short
+        self.n_long = n_long
+        self.short_sizes = short_sizes if short_sizes is not None else UniformSize(
+            KB(40), KB(100))
+        self.long_size = int(long_size)
+        self.short_window = float(short_window)
+        self.deadlines = deadlines if deadlines is not None else UniformDeadlines()
+        self.sender_cls = sender_cls
+        self.tcp_config = tcp_config
+        self.flow_id_base = int(flow_id_base)
+        self.long_start = float(long_start)
+        self.short_start = float(short_start)
+
+    def install(self) -> WorkloadResult:
+        """Register flows, create senders, schedule starts."""
+        net = self.net
+        _install_listeners(net, self.registry)
+        senders_pool = [h.name for h in net.hosts_under(net.leaves[0])]
+        receivers_pool = [h.name for h in net.hosts_under(net.leaves[1])]
+        rng_sizes = net.rngs.stream("workload.sizes")
+        rng_arrivals = net.rngs.stream("workload.arrivals")
+        rng_pairs = net.rngs.stream("workload.pairs")
+        rng_deadlines = net.rngs.stream("workload.deadlines")
+
+        n_flows = self.n_long + self.n_short
+        if self.distinct_hosts:
+            src_order = rng_pairs.permutation(len(senders_pool))[:n_flows]
+            dst_order = rng_pairs.permutation(len(receivers_pool))[:n_flows]
+            pair_iter = iter(zip(src_order, dst_order))
+
+            def next_pair():
+                si, di = next(pair_iter)
+                return senders_pool[int(si)], receivers_pool[int(di)]
+        else:
+            def next_pair():
+                return (
+                    senders_pool[int(rng_pairs.integers(len(senders_pool)))],
+                    receivers_pool[int(rng_pairs.integers(len(receivers_pool)))],
+                )
+
+        result = WorkloadResult()
+        fid = self.flow_id_base
+
+        for _ in range(self.n_long):
+            src, dst = next_pair()
+            flow = Flow(id=fid, src=src, dst=dst, size=self.long_size,
+                        start_time=self.long_start, deadline=None)
+            _schedule_flow(net, self.registry, flow, self.sender_cls,
+                           self.tcp_config, result)
+            fid += 1
+
+        if self.n_short:
+            sizes = self.short_sizes.sample(rng_sizes, self.n_short)
+            deadlines = self.deadlines.assign(rng_deadlines, sizes)
+            gaps = rng_arrivals.exponential(
+                self.short_window / self.n_short, size=self.n_short)
+            arrivals = self.short_start + np.cumsum(gaps)
+            for i in range(self.n_short):
+                src, dst = next_pair()
+                flow = Flow(id=fid, src=src, dst=dst, size=int(sizes[i]),
+                            start_time=float(arrivals[i]), deadline=deadlines[i])
+                _schedule_flow(net, self.registry, flow, self.sender_cls,
+                               self.tcp_config, result)
+                fid += 1
+        return result
+
+
+class PoissonWorkload:
+    """Random-pair Poisson arrivals at a target load (§6.2).
+
+    ``load`` is the offered fraction of the aggregate *fabric* (leaf→
+    spine) capacity — the tier where the multi-path decision happens and
+    the paper's bottleneck (its 256-host fabric is 4:1 oversubscribed, so
+    "workload 0.8" can only refer to the spine tier).  The flow arrival
+    rate is ``load * n_leaves * n_spines * fabric_rate / (8 * mean_size)``
+    flows per second.  Flows always cross leaves (the paper's multi-path
+    setting); intra-leaf pairs are redrawn.
+
+    ``n_flows`` bounds the experiment: exactly that many flows are
+    generated (the measurement window then ends with the last completion
+    or the caller's horizon).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        registry: FlowRegistry,
+        *,
+        sizes: FlowSizeDistribution,
+        load: float,
+        n_flows: int,
+        deadlines: Optional[UniformDeadlines] = None,
+        sender_cls: Type[TcpSender] = DctcpSender,
+        tcp_config: Optional[TcpConfig] = None,
+        flow_id_base: int = 0,
+        start: float = 0.0,
+    ):
+        if not 0 < load <= 1.5:
+            raise ConfigError(f"load must be in (0, 1.5], got {load}")
+        if n_flows < 1:
+            raise ConfigError("n_flows must be >= 1")
+        if len(net.leaves) < 2:
+            raise ConfigError("PoissonWorkload needs at least two leaves")
+        self.net = net
+        self.registry = registry
+        self.sizes = sizes
+        self.load = float(load)
+        self.n_flows = int(n_flows)
+        self.deadlines = deadlines if deadlines is not None else UniformDeadlines()
+        self.sender_cls = sender_cls
+        self.tcp_config = tcp_config
+        self.flow_id_base = int(flow_id_base)
+        self.start = float(start)
+
+    def arrival_rate(self) -> float:
+        """Flow arrivals per second implied by the target load."""
+        cfg = self.net.config
+        fabric_bps = cfg.effective_fabric_rate * cfg.n_leaves * cfg.n_spines
+        return self.load * fabric_bps / (8.0 * self.sizes.mean())
+
+    def install(self) -> WorkloadResult:
+        """Register flows, create senders, schedule starts."""
+        net = self.net
+        _install_listeners(net, self.registry)
+        rng_sizes = net.rngs.stream("workload.sizes")
+        rng_arrivals = net.rngs.stream("workload.arrivals")
+        rng_pairs = net.rngs.stream("workload.pairs")
+        rng_deadlines = net.rngs.stream("workload.deadlines")
+
+        n = self.n_flows
+        lam = self.arrival_rate()
+        arrivals = self.start + np.cumsum(rng_arrivals.exponential(1.0 / lam, size=n))
+        sizes = self.sizes.sample(rng_sizes, n)
+        deadlines = self.deadlines.assign(rng_deadlines, sizes)
+
+        hosts = [h.name for h in net.host_list()]
+        leaf_of = net.leaf_of
+        result = WorkloadResult()
+        fid = self.flow_id_base
+        for i in range(n):
+            src = hosts[int(rng_pairs.integers(len(hosts)))]
+            dst = hosts[int(rng_pairs.integers(len(hosts)))]
+            while leaf_of[dst] == leaf_of[src]:
+                dst = hosts[int(rng_pairs.integers(len(hosts)))]
+            flow = Flow(id=fid, src=src, dst=dst, size=int(sizes[i]),
+                        start_time=float(arrivals[i]), deadline=deadlines[i])
+            _schedule_flow(net, self.registry, flow, self.sender_cls,
+                           self.tcp_config, result)
+            fid += 1
+        return result

@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.net.port import Port
+from repro.net.topology import build_two_leaf_fabric
+from repro.sim.engine import Simulator
+from repro.sim.trace import RecordingTracer
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow, FlowRegistry
+from repro.transport.receiver import make_listener
+from repro.transport.tcp import TcpConfig
+from repro.units import Gbps, microseconds
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+class Sink:
+    """A node that records every packet it receives."""
+
+    def __init__(self, name: str = "sink"):
+        self.name = name
+        self.received: list[Packet] = []
+
+    def receive(self, pkt: Packet) -> None:
+        self.received.append(pkt)
+
+
+@pytest.fixture
+def sink() -> Sink:
+    return Sink()
+
+
+def make_port(sim, dst, *, rate=Gbps(1), delay=microseconds(10),
+              buffer_packets=16, ecn_threshold=None, tracer=None,
+              name="test-port") -> Port:
+    return Port(sim, name, rate, delay, dst, buffer_packets=buffer_packets,
+                ecn_threshold=ecn_threshold, tracer=tracer)
+
+
+def make_packet(flow_id=1, seq=0, size=1500, **kwargs) -> Packet:
+    return Packet(flow_id, "h0", "h1", seq, size, **kwargs)
+
+
+@pytest.fixture
+def small_fabric():
+    """A 4-path, 4-hosts-per-leaf fabric with a recording tracer."""
+    tracer = RecordingTracer()
+    net = build_two_leaf_fabric(n_paths=4, hosts_per_leaf=4, tracer=tracer)
+    return net
+
+
+def run_one_flow(net, *, size=70_000, src="h0", dst="h4", deadline=None,
+                 config=None, sender_cls=DctcpSender, horizon=1.0):
+    """Install and run a single flow; returns its FlowStats."""
+    registry = FlowRegistry()
+    listener = make_listener(net.sim, registry)
+    for h in net.hosts.values():
+        if h.listener is None:
+            h.set_listener(listener)
+    flow = Flow(id=1, src=src, dst=dst, size=size, start_time=0.0,
+                deadline=deadline)
+    stats = registry.add(flow)
+    sender = sender_cls(net.sim, net.hosts[src], flow, stats,
+                        config or TcpConfig(ecn_capable=True))
+    net.sim.call_later(0.0, sender.start)
+    net.sim.run(until=horizon)
+    return stats, sender, registry

@@ -1,0 +1,55 @@
+"""Tests for asymmetry injection."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.asymmetry import LinkOverride, apply_asymmetry, random_degraded_links
+from repro.net.topology import build_two_leaf_fabric
+from repro.units import Gbps
+
+
+def test_override_applies_to_both_directions():
+    net = build_two_leaf_fabric(n_paths=4, hosts_per_leaf=2)
+    apply_asymmetry(net, [LinkOverride("leaf0", "spine1", rate_factor=0.1,
+                                       extra_delay=1e-3)])
+    fwd = net.port_between("leaf0", "spine1")
+    rev = net.port_between("spine1", "leaf0")
+    base = net.port_between("leaf0", "spine0")
+    assert fwd.rate == pytest.approx(Gbps(0.1))
+    assert rev.rate == pytest.approx(Gbps(0.1))
+    assert fwd.delay == pytest.approx(base.delay + 1e-3)
+    assert base.rate == Gbps(1)
+
+
+def test_invalid_override_values():
+    with pytest.raises(TopologyError):
+        LinkOverride("leaf0", "spine0", rate_factor=0.0)
+    with pytest.raises(TopologyError):
+        LinkOverride("leaf0", "spine0", extra_delay=-1e-3)
+
+
+def test_unknown_endpoint_rejected():
+    net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=2)
+    with pytest.raises(TopologyError):
+        apply_asymmetry(net, [LinkOverride("leaf0", "spine99")])
+
+
+def test_random_degraded_links_deterministic_per_seed():
+    net1 = build_two_leaf_fabric(n_paths=8, hosts_per_leaf=2, seed=5)
+    net2 = build_two_leaf_fabric(n_paths=8, hosts_per_leaf=2, seed=5)
+    ov1 = random_degraded_links(net1, 2, rate_factor=0.5)
+    ov2 = random_degraded_links(net2, 2, rate_factor=0.5)
+    assert [(o.leaf, o.spine) for o in ov1] == [(o.leaf, o.spine) for o in ov2]
+
+
+def test_random_degraded_links_distinct():
+    net = build_two_leaf_fabric(n_paths=8, hosts_per_leaf=2)
+    ovs = random_degraded_links(net, 4, extra_delay=1e-3)
+    pairs = [(o.leaf, o.spine) for o in ovs]
+    assert len(set(pairs)) == 4
+
+
+def test_cannot_degrade_more_links_than_exist():
+    net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=1)
+    with pytest.raises(TopologyError):
+        random_degraded_links(net, 5)

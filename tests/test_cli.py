@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def test_schemes_command(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out.split()
+    for s in ("ecmp", "rps", "presto", "letflow", "tlb", "hermes"):
+        assert s in out
+
+
+def test_model_command(capsys):
+    assert main(["model", "--short-flows", "100", "--long-flows", "3",
+                 "--paths", "15", "--deadline", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "q_th" in out
+    assert "m_S=100" in out
+
+
+def test_run_command_static_small(capsys, tmp_path):
+    csv_path = tmp_path / "out.csv"
+    assert main(["run", "--scheme", "ecmp", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "scheme=ecmp" in out
+    assert csv_path.exists()
+
+
+def test_sweep_command_tiny(capsys, tmp_path):
+    csv_path = tmp_path / "sweep.csv"
+    assert main(["sweep", "--schemes", "ecmp", "--loads", "0.3",
+                 "--flows", "10", "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 10" in out
+    content = csv_path.read_text()
+    assert "swept_scheme" in content and "ecmp" in content
+
+
+def test_figure_choices_cover_all_paper_figures():
+    expected = {f"fig{i}" for i in [3, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17]}
+    assert set(FIGURES) == expected
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["--version"])
+    assert exc.value.code == 0

@@ -1,0 +1,111 @@
+"""Unit tests for the DCTCP sender's alpha/window machinery."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow, FlowRegistry
+from repro.transport.tcp import TcpConfig
+
+from tests.test_tcp import FakeHost, ack, fin_ack, syn_ack
+
+
+def make_dctcp(n_packets=1000, g=1 / 16):
+    sim = Simulator()
+    host = FakeHost(sim)
+    flow = Flow(id=1, src="h0", dst="h1", size=n_packets * 1460, start_time=0.0)
+    reg = FlowRegistry()
+    stats = reg.add(flow)
+    sender = DctcpSender(sim, host, flow, stats, TcpConfig(), g=g)
+    sender.start()
+    sender.handle(syn_ack())
+    return sim, host, sender, stats
+
+
+def test_dctcp_forces_ecn_capable():
+    _, host, sender, _ = make_dctcp()
+    assert sender.config.ecn_capable
+    assert all(p.ecn_capable for p in host.sent if not p.is_ack)
+
+
+def test_alpha_starts_at_zero():
+    _, _, sender, _ = make_dctcp()
+    assert sender.alpha == 0.0
+
+
+def test_mark_with_zero_alpha_keeps_window():
+    """First-ever mark: alpha is still 0, so the cut is a no-op —
+    alpha only reacts on the next window."""
+    _, _, sender, _ = make_dctcp()
+    cwnd = sender.cwnd
+    sender.handle(ack(1, echo=True))
+    # cut factor (1 - 0/2) = 1, but slow start exits
+    assert sender.cwnd >= cwnd  # +1 from the new ACK, no multiplicative cut
+    assert sender.state == 1  # left slow start
+
+
+def test_alpha_rises_with_persistent_marking():
+    _, _, sender, _ = make_dctcp()
+    v = 1
+    for _ in range(200):
+        sender.handle(ack(v, echo=True))
+        v += 1
+    assert sender.alpha > 0.5
+
+
+def test_alpha_decays_without_marks():
+    _, _, sender, _ = make_dctcp()
+    v = 1
+    for _ in range(60):
+        sender.handle(ack(v, echo=True))
+        v += 1
+    high = sender.alpha
+    for _ in range(600):
+        sender.handle(ack(v, echo=False))
+        v += 1
+    assert sender.alpha < high / 4
+
+
+def test_cut_happens_once_per_window():
+    _, _, sender, _ = make_dctcp()
+    # Build some alpha first.
+    v = 1
+    for _ in range(100):
+        sender.handle(ack(v, echo=True))
+        v += 1
+    sender._finish_observation_window()
+    sender._cut_this_window = False
+    cwnd = sender.cwnd
+    sender.handle(ack(v, echo=True)); v += 1
+    after_first = sender.cwnd
+    assert after_first < cwnd + 1  # cut applied (net of +newly_acked growth)
+    cut_level = sender.cwnd
+    sender.handle(ack(v, echo=True)); v += 1
+    # second mark in the same window: growth only, no second cut
+    assert sender.cwnd >= cut_level
+
+
+def test_window_never_below_one_packet():
+    _, _, sender, _ = make_dctcp()
+    sender.alpha = 1.0
+    sender.cwnd = 1.0
+    sender._cut_this_window = False
+    sender._react_to_mark()
+    assert sender.cwnd >= 1.0
+
+
+def test_dctcp_still_does_fast_retransmit():
+    _, host, sender, stats = make_dctcp()
+    for val in (1, 2, 3, 4):
+        sender.handle(ack(val))
+    for _ in range(3):
+        sender.handle(ack(4))
+    assert stats.retransmits == 1
+
+
+def test_dctcp_completes_flow():
+    sim, host, sender, stats = make_dctcp(n_packets=3)
+    sender.handle(ack(3))
+    sender.handle(fin_ack())
+    assert sender.closed

@@ -1,0 +1,112 @@
+"""Tests for flow-size distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.distributions import (
+    DATA_MINING,
+    WEB_SEARCH,
+    FixedSize,
+    PiecewiseCdf,
+    UniformSize,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def test_web_search_is_heavy_tailed():
+    """~90 % of bytes from the largest ~30 % of flows (paper §6.2:
+    web search has ~30 % flows above 1 MB carrying most bytes)."""
+    sizes = WEB_SEARCH.sample(np.random.default_rng(1), 50_000)
+    total = sizes.sum()
+    big = sizes[sizes >= 1_000_000].sum()
+    assert big / total > 0.75
+    frac_big_flows = (sizes >= 1_000_000).mean()
+    assert 0.2 < frac_big_flows < 0.4
+
+
+def test_data_mining_mostly_tiny_flows():
+    """§6.2: data mining has a sharp boundary — ~80 % of flows < 10 KB."""
+    sizes = DATA_MINING.sample(np.random.default_rng(1), 50_000)
+    assert (sizes <= 10_000).mean() > 0.75
+    assert sizes.max() > 10_000_000  # but a very long tail
+
+
+def test_fraction_below_matches_samples():
+    for dist in (WEB_SEARCH, DATA_MINING):
+        sizes = dist.sample(np.random.default_rng(2), 100_000)
+        for threshold in (10_000, 100_000, 1_000_000):
+            empirical = (sizes <= threshold).mean()
+            assert empirical == pytest.approx(
+                dist.fraction_below(threshold), abs=0.02)
+
+
+def test_mean_matches_samples():
+    for dist in (WEB_SEARCH, DATA_MINING):
+        sizes = dist.sample(np.random.default_rng(3), 400_000)
+        assert sizes.mean() == pytest.approx(dist.mean(), rel=0.1)
+
+
+def test_truncation_caps_samples_and_mean():
+    trunc = PiecewiseCdf(
+        list(zip(WEB_SEARCH.sizes.tolist(), WEB_SEARCH.probs.tolist())),
+        truncate_at=1_000_000,
+    )
+    sizes = trunc.sample(np.random.default_rng(4), 10_000)
+    assert sizes.max() <= 1_000_000
+    assert trunc.mean() < WEB_SEARCH.mean()
+
+
+def test_piecewise_validation():
+    with pytest.raises(ConfigError):
+        PiecewiseCdf([(100, 1.0)])  # one knot
+    with pytest.raises(ConfigError):
+        PiecewiseCdf([(100, 0.5), (100, 1.0)])  # non-increasing sizes
+    with pytest.raises(ConfigError):
+        PiecewiseCdf([(100, 0.5), (200, 0.4)])  # decreasing probs
+    with pytest.raises(ConfigError):
+        PiecewiseCdf([(100, 0.5), (200, 0.9)])  # doesn't end at 1
+    with pytest.raises(ConfigError):
+        PiecewiseCdf([(100, 0.0), (200, 1.0)], truncate_at=50)
+
+
+def test_uniform_size_bounds_and_mean():
+    d = UniformSize(40_000, 100_000)
+    sizes = d.sample(np.random.default_rng(5), 20_000)
+    assert sizes.min() >= 40_000
+    assert sizes.max() <= 100_000
+    assert sizes.mean() == pytest.approx(70_000, rel=0.02)
+    assert d.mean() == 70_000
+    assert d.fraction_below(70_000) == pytest.approx(0.5)
+    assert d.fraction_below(10) == 0.0
+    assert d.fraction_below(200_000) == 1.0
+
+
+def test_uniform_validation():
+    with pytest.raises(ConfigError):
+        UniformSize(0, 10)
+    with pytest.raises(ConfigError):
+        UniformSize(10, 5)
+
+
+def test_fixed_size():
+    d = FixedSize(5000)
+    assert (d.sample(RNG, 10) == 5000).all()
+    assert d.mean() == 5000
+    assert d.fraction_below(4999) == 0.0
+    assert d.fraction_below(5000) == 1.0
+    with pytest.raises(ConfigError):
+        FixedSize(0)
+
+
+def test_samples_are_integer_bytes():
+    sizes = WEB_SEARCH.sample(RNG, 100)
+    assert sizes.dtype == np.int64
+    assert (sizes >= 1).all()
+
+
+def test_sampling_reproducible():
+    a = WEB_SEARCH.sample(np.random.default_rng(9), 100)
+    b = WEB_SEARCH.sample(np.random.default_rng(9), 100)
+    assert (a == b).all()

@@ -1,0 +1,169 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    assert Simulator(start=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.call_later(0.3, order.append, "c")
+    sim.call_later(0.1, order.append, "a")
+    sim.call_later(0.2, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    order = []
+    for tag in "abcde":
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_time(sim):
+    seen = []
+    sim.call_later(0.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [0.5]
+    assert sim.now == 0.5
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.call_later(1.0, fired.append, "late")
+    sim.call_later(0.1, fired.append, "early")
+    sim.run(until=0.5)
+    assert fired == ["early"]
+    assert sim.now == 0.5
+    sim.run(until=2.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_without_events(sim):
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    ev = sim.call_later(0.1, fired.append, "x")
+    ev.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(sim):
+    ev = sim.call_later(0.1, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_cancel_releases_references(sim):
+    payload = object()
+    ev = sim.call_later(0.1, lambda p: None, payload)
+    ev.cancel()
+    assert ev.args == ()
+
+
+def test_schedule_in_past_raises(sim):
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(0.5, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.call_later(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.call_later(0.1, chain, n + 1)
+
+    sim.call_later(0.0, chain, 1)
+    sim.run()
+    assert fired == [1, 2, 3]
+
+
+def test_stop_halts_run(sim):
+    fired = []
+
+    def first():
+        fired.append(1)
+        sim.stop()
+
+    sim.call_later(0.1, first)
+    sim.call_later(0.2, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending == 1
+
+
+def test_run_not_reentrant(sim):
+    def reenter():
+        sim.run()
+
+    sim.call_later(0.1, reenter)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_max_events_guard(sim):
+    def loop():
+        sim.call_later(0.001, loop)
+
+    sim.call_later(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_executes_single_event(sim):
+    fired = []
+    sim.call_later(0.1, fired.append, "a")
+    sim.call_later(0.2, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert fired == ["a", "b"]
+    assert sim.step() is False
+
+
+def test_step_skips_cancelled(sim):
+    fired = []
+    ev = sim.call_later(0.1, fired.append, "a")
+    sim.call_later(0.2, fired.append, "b")
+    ev.cancel()
+    assert sim.step() is True
+    assert fired == ["b"]
+
+
+def test_peek_time(sim):
+    assert sim.peek_time() is None
+    ev = sim.call_later(0.5, lambda: None)
+    assert sim.peek_time() == pytest.approx(0.5)
+    ev.cancel()
+    assert sim.peek_time() is None
+
+
+def test_events_processed_counter(sim):
+    for _ in range(5):
+        sim.call_later(0.1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

@@ -1,0 +1,72 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+from repro.metrics.export import (
+    metrics_to_dict,
+    write_metrics_csv,
+    write_metrics_json,
+    write_series_csv,
+)
+from repro.metrics.timeseries import BinnedSeries
+
+
+@pytest.fixture(scope="module")
+def run():
+    cfg = ScenarioConfig(scheme="tlb", n_paths=4, hosts_per_leaf=12,
+                         n_short=6, n_long=1, long_size=300_000,
+                         short_window=0.005, horizon=0.5, timeseries=True)
+    return run_scenario(cfg)
+
+
+def test_metrics_to_dict_flat_and_json_safe(run):
+    d = metrics_to_dict(run.metrics)
+    assert d["scheme"] == "tlb"
+    assert d["short_n_flows"] == 6
+    assert d["short_fct_mean_s"] > 0
+    json.dumps(d, allow_nan=False)  # no NaN leaks
+
+
+def test_write_metrics_csv(tmp_path, run):
+    path = write_metrics_csv(tmp_path / "m.csv", [run.metrics],
+                             extra_columns=[{"load": 0.4}])
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 1
+    assert rows[0]["scheme"] == "tlb"
+    assert rows[0]["load"] == "0.4"
+
+
+def test_write_metrics_json(tmp_path, run):
+    path = write_metrics_json(tmp_path / "m.json", [run.metrics])
+    data = json.loads(path.read_text())
+    assert data[0]["scheme"] == "tlb"
+
+
+def test_write_metrics_csv_empty(tmp_path):
+    path = write_metrics_csv(tmp_path / "empty.csv", [])
+    assert path.read_text() == ""
+
+
+def test_write_series_csv(tmp_path, run):
+    thr = run.collector.throughput
+    path = write_series_csv(tmp_path / "series.csv", {
+        "short": thr.short_series(), "long": thr.long_series()})
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["time_s", "long_sum", "short_sum",
+                       "long_count", "short_count"]
+    assert len(rows) > 1
+
+
+def test_write_series_csv_rejects_mismatched_bins(tmp_path):
+    a = BinnedSeries(0.1)
+    b = BinnedSeries(0.2)
+    a.add(0.05, 1)
+    b.add(0.05, 1)
+    with pytest.raises(ValueError):
+        write_series_csv(tmp_path / "x.csv", {"a": a, "b": b})

@@ -1,0 +1,128 @@
+"""Tests for the TLB flow table (§5 bookkeeping)."""
+
+import pytest
+
+from repro.core.flow_table import FlowTable
+from repro.errors import ConfigError
+
+KEY = (1, False)
+ACK_KEY = (1, True)
+
+
+def test_new_flow_starts_short():
+    t = FlowTable(100_000)
+    entry = t.observe(KEY, 1500, now=0.0)
+    assert not entry.is_long
+    assert t.m_short == 1
+    assert t.m_long == 0
+
+
+def test_promotion_at_threshold():
+    t = FlowTable(10_000)
+    for i in range(7):
+        t.observe(KEY, 1500, now=i * 1e-4)
+    assert t.m_long == 1
+    assert t.m_short == 0
+    assert t.promotions == 1
+    assert t.get(KEY).is_long
+
+
+def test_promotion_happens_once():
+    t = FlowTable(1_000)
+    for i in range(10):
+        t.observe(KEY, 1500, now=0.0)
+    assert t.promotions == 1
+    assert t.m_long == 1
+
+
+def test_counts_multiple_flows():
+    t = FlowTable(10_000)
+    t.observe((1, False), 500, 0.0)
+    t.observe((2, False), 500, 0.0)
+    t.observe((3, False), 500, 0.0)
+    for _ in range(10):
+        t.observe((3, False), 1500, 0.0)
+    assert t.m_short == 2
+    assert t.m_long == 1
+    assert len(t) == 3
+
+
+def test_remove_on_fin():
+    t = FlowTable(100_000)
+    t.observe(KEY, 1500, 0.0)
+    entry = t.remove(KEY)
+    assert entry is not None
+    assert len(t) == 0
+    assert t.m_short == 0
+    assert t.remove(KEY) is None  # idempotent
+
+
+def test_remove_long_flow_decrements_long_count():
+    t = FlowTable(1_000)
+    t.observe(KEY, 5_000, 0.0)
+    assert t.m_long == 1
+    t.remove(KEY)
+    assert t.m_long == 0
+
+
+def test_short_flow_end_callback_fires_on_remove_and_evict():
+    ended = []
+    t = FlowTable(100_000, on_short_flow_end=lambda e: ended.append(e.key))
+    t.observe((1, False), 1500, 0.0)
+    t.observe((2, False), 1500, 0.0)
+    t.remove((1, False))
+    t.evict_idle(now=1.0, idle_timeout=0.5)
+    assert ended == [(1, False), (2, False)]
+
+
+def test_callback_not_fired_for_long_flows():
+    ended = []
+    t = FlowTable(1_000, on_short_flow_end=lambda e: ended.append(e.key))
+    t.observe(KEY, 5_000, 0.0)
+    t.remove(KEY)
+    assert ended == []
+
+
+def test_evict_idle_respects_recent_activity():
+    t = FlowTable(100_000)
+    t.observe((1, False), 1500, 0.0)
+    t.observe((2, False), 1500, 0.9)
+    evicted = t.evict_idle(now=1.0, idle_timeout=0.5)
+    assert evicted == 1
+    assert (2, False) in t
+    assert (1, False) not in t
+    assert t.evictions == 1
+
+
+def test_observe_refreshes_last_seen():
+    t = FlowTable(100_000)
+    t.observe(KEY, 1500, 0.0)
+    t.observe(KEY, 1500, 0.9)
+    assert t.evict_idle(now=1.0, idle_timeout=0.5) == 0
+
+
+def test_deadline_recorded_from_syn():
+    t = FlowTable(100_000)
+    entry = t.observe(KEY, 40, 0.0, deadline=0.01)
+    assert entry.deadline == 0.01
+    # later packets without deadline keep it
+    entry = t.observe(KEY, 1500, 0.001)
+    assert entry.deadline == 0.01
+
+
+def test_ack_direction_tracked_separately():
+    t = FlowTable(100_000)
+    t.observe(KEY, 1500, 0.0)
+    t.observe(ACK_KEY, 40, 0.0)
+    assert len(t) == 2
+    assert t.m_short == 2
+
+
+def test_port_idx_defaults_unset():
+    t = FlowTable(100_000)
+    assert t.observe(KEY, 1500, 0.0).port_idx == -1
+
+
+def test_invalid_threshold():
+    with pytest.raises(ConfigError):
+        FlowTable(0)

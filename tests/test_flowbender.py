@@ -1,0 +1,94 @@
+"""Tests for the FlowBender-lite baseline."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.lb.flowbender import FlowBenderLiteBalancer
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+from tests.test_lb import FakePort, FakeSwitch
+
+
+def make(threshold=5, patience=3):
+    lb = FlowBenderLiteBalancer(seed=1, congestion_threshold=threshold,
+                                patience=patience)
+    FakeSwitch(Simulator()).attach(lb)
+    ports = [FakePort(f"p{i}") for i in range(4)]
+    return lb, ports
+
+
+def pkt(flow_id=1, seq=0, size=1500, **kw):
+    return Packet(flow_id, "h0", "h1", seq, size, **kw)
+
+
+def test_stable_flow_stays_put():
+    lb, ports = make()
+    first = lb.select_port(pkt(seq=0), ports).name
+    for s in range(1, 30):
+        assert lb.select_port(pkt(seq=s), ports).name == first
+    assert lb.rehashes == 0
+
+
+def test_sustained_congestion_triggers_rehash():
+    lb, ports = make(threshold=5, patience=3)
+    first = lb.select_port(pkt(seq=0), ports).name
+    ports[int(first[1])].queue_length = 10
+    picks = [lb.select_port(pkt(seq=s), ports).name for s in range(1, 5)]
+    assert lb.rehashes == 1
+    assert picks[-1] != first  # moved away (never back to the hot port)
+
+
+def test_transient_congestion_tolerated():
+    lb, ports = make(threshold=5, patience=3)
+    first = lb.select_port(pkt(seq=0), ports).name
+    idx = int(first[1])
+    ports[idx].queue_length = 10
+    lb.select_port(pkt(seq=1), ports)  # 1 congested packet
+    ports[idx].queue_length = 0       # congestion clears
+    lb.select_port(pkt(seq=2), ports)
+    ports[idx].queue_length = 10
+    lb.select_port(pkt(seq=3), ports)
+    lb.select_port(pkt(seq=4), ports)
+    # patience counter reset in between: still no rehash
+    assert lb.rehashes == 0
+
+
+def test_rehash_avoids_current_port():
+    lb, ports = make(threshold=1, patience=1)
+    for trial in range(30):
+        key_pkt = pkt(flow_id=trial, seq=0)
+        first = lb.select_port(key_pkt, ports).name
+        for p in ports:
+            p.queue_length = 5
+        moved = lb.select_port(pkt(flow_id=trial, seq=1), ports).name
+        assert moved != first
+        for p in ports:
+            p.queue_length = 0
+
+
+def test_fin_cleans_state():
+    lb, ports = make()
+    lb.select_port(pkt(seq=0), ports)
+    lb.select_port(pkt(seq=1, size=40, fin=True), ports)
+    assert lb.state_entries() == 0
+
+
+def test_validation_and_registry():
+    with pytest.raises(SchemeError):
+        FlowBenderLiteBalancer(congestion_threshold=0)
+    with pytest.raises(SchemeError):
+        FlowBenderLiteBalancer(patience=0)
+    from repro.lb import available_schemes
+
+    assert "flowbender" in available_schemes()
+
+
+def test_completes_real_workload():
+    from repro.experiments.common import ScenarioConfig, run_scenario
+
+    cfg = ScenarioConfig(scheme="flowbender", n_paths=4, hosts_per_leaf=12,
+                         n_short=8, n_long=1, long_size=400_000,
+                         short_window=0.005, horizon=0.5)
+    res = run_scenario(cfg)
+    assert res.completed_all

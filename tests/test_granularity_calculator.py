@@ -1,0 +1,96 @@
+"""Tests for the q_th derivation and its clamping regimes."""
+
+import pytest
+
+from repro.core.config import TlbConfig
+from repro.core.granularity_calculator import GranularityCalculator
+from repro.errors import ConfigError
+from repro.units import Gbps, KB
+
+
+def make_calc(n_paths=15, buffer_packets=512, **cfg):
+    config = TlbConfig(**cfg)
+    return GranularityCalculator(config, n_paths, Gbps(1), buffer_packets)
+
+
+def test_adaptive_regime_at_paper_point():
+    calc = make_calc()
+    d = calc.compute(m_short=100, m_long=3, mean_short_bytes=KB(70),
+                     deadline=0.010)
+    assert d.regime == "adaptive"
+    assert 1 <= d.qth <= 512
+    assert d.qth == round(d.raw)
+
+
+def test_no_long_flows_gives_min_qth():
+    calc = make_calc()
+    d = calc.compute(0, 0, KB(70), 0.010)
+    assert d.regime == "no_long"
+    assert d.qth == 1
+
+
+def test_no_short_flows_gives_small_qth():
+    """With no short flows, long flows get all paths and the threshold
+    collapses to a few packets — maximal switching flexibility.  (Eq. 1:
+    3 longs' per-interval data barely exceeds 15 paths' drain.)"""
+    calc = make_calc()
+    d = calc.compute(0, 3, KB(70), 0.010)
+    assert d.regime in ("adaptive", "clamped_min")
+    assert d.qth <= 4
+    # fewer longs -> offered data below the drain -> raw negative -> clamp
+    d1 = calc.compute(0, 1, KB(70), 0.010)
+    assert d1.regime == "clamped_min"
+    assert d1.qth == 1
+    assert d1.raw < 1
+
+
+def test_overload_clamps_to_buffer():
+    """Short flows needing more than all paths pins long flows."""
+    calc = make_calc(n_paths=4)
+    d = calc.compute(m_short=5000, m_long=3, mean_short_bytes=KB(70),
+                     deadline=0.010)
+    assert d.regime == "infeasible"
+    assert d.qth == 512
+
+
+def test_impossible_deadline_is_infeasible():
+    calc = make_calc()
+    d = calc.compute(100, 3, KB(70), deadline=1e-6)
+    assert d.regime == "infeasible"
+    assert d.qth == 512
+
+
+def test_qth_monotone_in_short_load():
+    calc = make_calc()
+    qs = [calc.compute(m, 3, KB(70), 0.010).qth for m in (10, 50, 100, 150)]
+    assert qs == sorted(qs)
+
+
+def test_many_longs_can_clamp_max():
+    calc = make_calc(buffer_packets=64)
+    d = calc.compute(100, 50, KB(70), 0.010)
+    assert d.qth <= 64
+    assert d.regime in ("clamped_max", "adaptive", "infeasible")
+
+
+def test_last_decision_retained():
+    calc = make_calc()
+    assert calc.last_decision is None
+    d = calc.compute(10, 1, KB(70), 0.010)
+    assert calc.last_decision is d
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        GranularityCalculator(TlbConfig(), 0, Gbps(1), 512)
+    with pytest.raises(ConfigError):
+        GranularityCalculator(TlbConfig(), 15, Gbps(1), 0)
+
+
+def test_decision_records_inputs():
+    calc = make_calc()
+    d = calc.compute(42, 7, KB(50), 0.015)
+    assert d.m_short == 42
+    assert d.m_long == 7
+    assert d.deadline == 0.015
+    assert d.x_packets == pytest.approx(KB(50) / 1460)

@@ -1,0 +1,103 @@
+"""Tests for the Hermes-lite baseline."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.lb.hermes import HermesLiteBalancer
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+from tests.test_lb import FakePort, FakeSwitch
+
+
+def make(threshold=10_000, margin=2, cooldown=5_000):
+    lb = HermesLiteBalancer(seed=1, reroute_threshold=threshold,
+                            benefit_margin=margin, cooldown_bytes=cooldown)
+    FakeSwitch(Simulator()).attach(lb)
+    ports = [FakePort(f"p{i}") for i in range(4)]
+    return lb, ports
+
+
+def pkt(flow_id=1, seq=0, size=1500, **kw):
+    return Packet(flow_id, "h0", "h1", seq, size, **kw)
+
+
+def test_young_flow_never_moves():
+    lb, ports = make(threshold=100_000)
+    first = lb.select_port(pkt(seq=0), ports).name
+    # make every other port look great
+    for p in ports:
+        if p.name != first:
+            p.queue_length = -10
+    for s in range(1, 20):
+        assert lb.select_port(pkt(seq=s), ports).name == first
+
+
+def test_mature_flow_moves_when_clearly_better():
+    lb, ports = make(threshold=3_000, margin=2, cooldown=1_500)
+    first = lb.select_port(pkt(seq=0), ports).name
+    # mature the flow past threshold and cooldown
+    for s in range(1, 5):
+        lb.select_port(pkt(seq=s), ports)
+    for p in ports:
+        p.queue_length = 10
+    target = (int(first[1]) + 1) % 4
+    ports[target].queue_length = 0
+    chosen = lb.select_port(pkt(seq=6), ports).name
+    assert chosen == f"p{target}"
+
+
+def test_no_move_without_sufficient_benefit():
+    lb, ports = make(threshold=3_000, margin=5, cooldown=1_500)
+    first = lb.select_port(pkt(seq=0), ports).name
+    for s in range(1, 5):
+        lb.select_port(pkt(seq=s), ports)
+    ports[int(first[1])].queue_length = 3  # better exists, but margin < 5
+    assert lb.select_port(pkt(seq=6), ports).name == first
+
+
+def test_cooldown_limits_reroute_rate():
+    lb, ports = make(threshold=1_000, margin=1, cooldown=100_000)
+    first = lb.select_port(pkt(seq=0), ports).name
+    lb.select_port(pkt(seq=1), ports)
+    idx = int(first[1])
+    ports[idx].queue_length = 50
+    # needs 100 kB since last (re)route; only ~3 kB sent so far
+    assert lb.select_port(pkt(seq=2), ports).name == first
+
+
+def test_fin_cleans_state():
+    lb, ports = make()
+    lb.select_port(pkt(seq=0), ports)
+    assert lb.state_entries() == 1
+    lb.select_port(pkt(seq=1, size=40, fin=True), ports)
+    assert lb.state_entries() == 0
+
+
+def test_param_validation():
+    with pytest.raises(SchemeError):
+        HermesLiteBalancer(reroute_threshold=-1)
+    with pytest.raises(SchemeError):
+        HermesLiteBalancer(benefit_margin=0)
+
+
+def test_registered_in_registry():
+    from repro.lb import available_schemes
+
+    assert "hermes" in available_schemes()
+
+
+def test_short_flows_suffer_vs_tlb():
+    """The §8 contrast: Hermes-style caution leaves short flows hashed,
+    so TLB's per-packet spraying beats it on short-flow AFCT under load."""
+    from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+
+    # Path-rich regime, as in the paper (§4.2 has 15 paths for 3 longs);
+    # with paths to spare, per-packet shortest-queue shorts dodge the
+    # elephants while Hermes's hashed shorts cannot.
+    base = ScenarioConfig(n_paths=8, hosts_per_leaf=70, n_short=60, n_long=4,
+                          long_size=2_000_000, short_window=0.008,
+                          horizon=1.0, distinct_hosts=True)
+    hermes = run_scenario_metrics(base.with_(scheme="hermes"))
+    tlb = run_scenario_metrics(base.with_(scheme="tlb"))
+    assert tlb.short_fct.mean < hermes.short_fct.mean

@@ -1,0 +1,108 @@
+"""Tests for the partition-aggregate (incast) workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.lb import attach_scheme
+from repro.net.topology import build_two_leaf_fabric
+from repro.transport.flow import FlowRegistry
+from repro.workload.incast import IncastWorkload, request_completion_times
+
+
+def fabric(**kw):
+    base = dict(n_paths=4, hosts_per_leaf=10)
+    base.update(kw)
+    return build_two_leaf_fabric(**base)
+
+
+def test_request_structure():
+    net = fabric()
+    reg = FlowRegistry()
+    wl = IncastWorkload(net, reg, n_requests=3, fanout=5, response_size=10_000)
+    res = wl.install()
+    assert res.n_flows == 15
+    assert len(wl.requests) == 3
+    for req in wl.requests:
+        assert len(req.flow_ids) == 5
+        # every response converges on the request's aggregator
+        for fid in req.flow_ids:
+            assert reg.flow(fid).dst == req.aggregator
+        # workers are distinct within a request
+        srcs = [reg.flow(fid).src for fid in req.flow_ids]
+        assert len(set(srcs)) == 5
+
+
+def test_responses_start_within_jitter():
+    net = fabric()
+    reg = FlowRegistry()
+    wl = IncastWorkload(net, reg, n_requests=4, fanout=3, jitter=0.0005)
+    wl.install()
+    for req in wl.requests:
+        for fid in req.flow_ids:
+            start = reg.flow(fid).start_time
+            assert req.start_time <= start <= req.start_time + 0.0005
+
+
+def test_completion_times_after_run():
+    net = fabric()
+    attach_scheme(net, "tlb")
+    reg = FlowRegistry()
+    wl = IncastWorkload(net, reg, n_requests=4, fanout=6,
+                        response_size=20_000, request_interval=0.005)
+    wl.install()
+    net.sim.run(until=1.0)
+    rct = request_completion_times(wl, reg)
+    assert rct.shape == (4,)
+    assert np.isfinite(rct).all()
+    assert (rct > 0).all()
+    # a request can't finish faster than its slowest flow's FCT
+    for req, t in zip(wl.requests, rct):
+        fcts = [reg.stats(fid).fct for fid in req.flow_ids]
+        assert t >= max(fcts) - 1e-12
+
+
+def test_unfinished_request_is_nan():
+    net = fabric()
+    attach_scheme(net, "ecmp")
+    reg = FlowRegistry()
+    wl = IncastWorkload(net, reg, n_requests=2, fanout=3)
+    wl.install()
+    net.sim.run(until=1e-5)  # far too short to finish
+    rct = request_completion_times(wl, reg)
+    assert np.isnan(rct).all()
+
+
+def test_deadline_attached_to_responses():
+    net = fabric()
+    reg = FlowRegistry()
+    wl = IncastWorkload(net, reg, n_requests=1, fanout=2, deadline=0.01)
+    wl.install()
+    for f in reg:
+        assert f.deadline == 0.01
+
+
+def test_validation():
+    net = fabric()
+    reg = FlowRegistry()
+    with pytest.raises(ConfigError):
+        IncastWorkload(net, reg, n_requests=0)
+    with pytest.raises(ConfigError):
+        IncastWorkload(net, reg, fanout=0)
+    with pytest.raises(ConfigError):
+        IncastWorkload(net, reg, fanout=99)  # more than the leaf's workers
+    with pytest.raises(ConfigError):
+        IncastWorkload(net, reg, response_size=0)
+    with pytest.raises(ConfigError):
+        IncastWorkload(net, reg, request_interval=0)
+
+
+def test_reproducible_per_seed():
+    def snapshot():
+        net = fabric(seed=11)
+        reg = FlowRegistry()
+        wl = IncastWorkload(net, reg, n_requests=3, fanout=4)
+        wl.install()
+        return [(f.src, f.dst, f.start_time) for f in reg]
+
+    assert snapshot() == snapshot()

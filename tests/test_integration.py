@@ -1,0 +1,149 @@
+"""Integration tests: whole-system invariants and paper-shape checks.
+
+These run small but complete simulations (fabric + transport + scheme +
+workload + metrics) and assert conservation laws and the qualitative
+relationships the paper's figures rest on.
+"""
+
+import pytest
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+from repro.lb import attach_scheme
+from repro.net.topology import build_two_leaf_fabric
+from repro.transport.flow import FlowRegistry
+from repro.workload.generator import StaticWorkload
+
+from tests.conftest import run_one_flow
+
+
+SCHEMES = ("ecmp", "rps", "presto", "letflow", "drill", "conga", "wcmp", "tlb")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_every_scheme_completes_a_mixed_workload(scheme):
+    cfg = ScenarioConfig(scheme=scheme, n_paths=4, hosts_per_leaf=12,
+                         n_short=8, n_long=1, long_size=400_000,
+                         short_window=0.005, horizon=0.5)
+    res = run_scenario(cfg)
+    assert res.completed_all, f"{scheme} failed to deliver all flows"
+    for s in res.registry.all_stats():
+        assert s.bytes_delivered == s.flow.size
+
+
+def test_single_flow_delivers_exact_bytes(small_fabric):
+    net = small_fabric
+    attach_scheme(net, "ecmp")
+    stats, sender, _ = run_one_flow(net, size=123_456)
+    assert stats.completed is not None
+    assert stats.bytes_delivered == 123_456
+    assert sender.closed
+
+
+def test_fct_lower_bound_physics(small_fabric):
+    """FCT can't beat the propagation + serialisation floor."""
+    net = small_fabric
+    attach_scheme(net, "ecmp")
+    size = 70_000
+    stats, _, _ = run_one_flow(net, size=size)
+    rtt = net.config.rtt
+    # handshake (1 RTT) + at least ceil(log2(n)) rounds + transmission
+    floor = 2 * rtt + size * 8 / net.config.link_rate
+    assert stats.fct > floor
+
+
+def test_packet_conservation_per_port(small_fabric):
+    """enqueued == transmitted + dropped + still queued, per port."""
+    net = small_fabric
+    attach_scheme(net, "rps")
+    reg = FlowRegistry()
+    StaticWorkload(net, reg, n_short=10, n_long=1, long_size=300_000,
+                   short_window=0.005).install()
+    net.sim.run(until=0.5)
+    for key, port in net.ports.items():
+        s = port.stats
+        assert s.enqueued == s.transmitted + s.dropped + port.queue_length, key
+
+
+def test_no_duplicate_delivery():
+    """Receiver-side delivered bytes never exceed flow size, even with
+    retransmissions under a lossy (tiny-buffer) fabric."""
+    net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=8,
+                                buffer_packets=8, ecn_threshold=None)
+    attach_scheme(net, "rps")
+    reg = FlowRegistry()
+    StaticWorkload(net, reg, n_short=12, n_long=2, long_size=300_000,
+                   short_window=0.002).install()
+    net.sim.run(until=2.0)
+    for s in reg.all_stats():
+        assert s.bytes_delivered <= s.flow.size
+        if s.completed is not None:
+            assert s.bytes_delivered == s.flow.size
+
+
+def test_drops_trigger_retransmissions():
+    net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=8,
+                                buffer_packets=4, ecn_threshold=None)
+    attach_scheme(net, "ecmp")
+    reg = FlowRegistry()
+    StaticWorkload(net, reg, n_short=10, n_long=2, long_size=400_000,
+                   short_window=0.001).install()
+    net.sim.run(until=2.0)
+    total_drops = sum(p.stats.dropped for p in net.ports.values())
+    total_retx = sum(s.retransmits for s in reg.all_stats())
+    assert total_drops > 0
+    assert total_retx > 0
+
+
+def test_ecmp_has_zero_reordering_rps_has_some():
+    base = ScenarioConfig(n_paths=4, hosts_per_leaf=30, n_short=25, n_long=2,
+                          long_size=1_000_000, short_window=0.005, horizon=1.0)
+    ecmp = run_scenario(base.with_(scheme="ecmp")).metrics
+    rps = run_scenario(base.with_(scheme="rps")).metrics
+    assert ecmp.short_reordering.out_of_order == 0
+    assert ecmp.long_reordering.out_of_order == 0
+    assert rps.long_reordering.out_of_order > 0
+
+
+def test_tlb_reordering_below_rps():
+    base = ScenarioConfig(n_paths=4, hosts_per_leaf=30, n_short=25, n_long=2,
+                          long_size=1_000_000, short_window=0.005, horizon=1.0)
+    rps = run_scenario(base.with_(scheme="rps")).metrics
+    tlb = run_scenario(base.with_(scheme="tlb")).metrics
+    assert tlb.long_reordering.dup_ack_ratio < rps.long_reordering.dup_ack_ratio
+
+
+def test_tlb_long_goodput_beats_ecmp():
+    """The paper's headline long-flow claim, at reduced scale: multiple
+    long flows hash-collide under ECMP but spread under TLB."""
+    base = ScenarioConfig(n_paths=4, hosts_per_leaf=30, n_short=20, n_long=4,
+                          long_size=2_000_000, short_window=0.01, horizon=2.0,
+                          seed=3)
+    ecmp = run_scenario(base.with_(scheme="ecmp")).metrics
+    tlb = run_scenario(base.with_(scheme="tlb")).metrics
+    assert tlb.long_goodput_bps > ecmp.long_goodput_bps
+
+
+def test_tlb_internal_classification_matches_ground_truth():
+    """The switch's byte-counting classifier must agree with true sizes
+    for flows well clear of the threshold."""
+    cfg = ScenarioConfig(scheme="tlb", n_paths=4, hosts_per_leaf=20,
+                         n_short=10, n_long=2, long_size=500_000,
+                         short_window=0.005, horizon=0.05, slice_width=0.05)
+    res = run_scenario(cfg)
+    lb = res.balancers["leaf0"]
+    # mid-run look: long flows that sent >100 KB must be classified long
+    for f in res.workload.flows:
+        entry = lb.table.get((f.id, False))
+        if entry is not None and entry.bytes_seen > 150_000:
+            assert entry.is_long
+
+
+def test_asymmetric_link_degrades_ecmp_more_than_tlb():
+    base = ScenarioConfig(n_paths=4, hosts_per_leaf=30, n_short=20, n_long=3,
+                          long_size=1_000_000, short_window=0.01, horizon=2.0,
+                          link_overrides=(("leaf0", "spine0", 0.1, 0.0),
+                                          ("leaf0", "spine1", 0.1, 0.0)))
+    ecmp = run_scenario(base.with_(scheme="ecmp")).metrics
+    tlb = run_scenario(base.with_(scheme="tlb")).metrics
+    assert tlb.long_goodput_bps > ecmp.long_goodput_bps
+    assert tlb.short_fct.p99 <= ecmp.short_fct.p99 * 1.5

@@ -1,0 +1,81 @@
+"""Cross-cutting conservation invariants on complete runs."""
+
+import pytest
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+
+SMALL = dict(n_paths=4, hosts_per_leaf=16, n_short=10, n_long=2,
+             long_size=400_000, short_window=0.005, horizon=1.0)
+
+
+@pytest.fixture(scope="module")
+def tlb_run():
+    return run_scenario(ScenarioConfig(scheme="tlb", **SMALL))
+
+
+@pytest.fixture(scope="module")
+def rps_run():
+    return run_scenario(ScenarioConfig(scheme="rps", **SMALL))
+
+
+def test_one_ack_per_data_packet(tlb_run):
+    """The receiver ACKs every data packet exactly once."""
+    for s in tlb_run.registry.all_stats():
+        assert s.acks_sent == s.packets_received
+
+
+def test_packets_sent_accounting(tlb_run):
+    """sent = unique data packets + retransmissions, for completed flows."""
+    for s in tlb_run.registry.all_stats():
+        assert s.completed is not None
+        assert s.packets_sent >= s.flow.n_packets
+        assert s.packets_sent == s.flow.n_packets + s.retransmits
+
+
+def test_dup_acks_imply_disorder_or_retransmit(rps_run):
+    """A receiver only duplicates ACKs for out-of-order arrivals or
+    spurious retransmissions."""
+    for s in rps_run.registry.all_stats():
+        assert s.dup_acks_sent <= s.out_of_order + s.retransmits
+
+
+def test_ecn_disabled_under_plain_tcp():
+    res = run_scenario(ScenarioConfig(scheme="rps", transport="tcp", **SMALL))
+    for s in res.registry.all_stats():
+        assert s.ecn_marks == 0
+    marked = sum(p.stats.ecn_marked for p in res.net.ports.values())
+    assert marked == 0
+
+
+def test_tlb_flow_table_drains_after_completion(tlb_run):
+    """FIN + idle sampling leave no residual flow state."""
+    net = tlb_run.net
+    net.sim.run(until=net.sim.now + 0.01)  # a few extra ticks
+    for lb in tlb_run.balancers.values():
+        assert lb.table.m_short == 0
+        assert lb.table.m_long == 0
+        assert len(lb.table) == 0
+
+
+def test_fabric_bytes_at_least_workload_bytes(tlb_run):
+    """Leaf uplinks carried at least every forward data byte once."""
+    total_flow_bytes = sum(f.size for f in tlb_run.workload.flows)
+    uplink_bytes = sum(p.stats.bytes_transmitted
+                       for p in tlb_run.net.uplink_ports(tlb_run.net.leaves[0]))
+    assert uplink_bytes >= total_flow_bytes
+
+
+def test_host_receive_counts_match_port_deliveries(tlb_run):
+    """Every packet a NIC-facing port transmitted reached its host."""
+    net = tlb_run.net
+    for h in net.hosts.values():
+        feeding = net.ports[(net.leaf_of[h.name], h.name)]
+        assert h.packets_received == feeding.stats.transmitted
+
+
+def test_timeouts_zero_on_clean_fabric(tlb_run):
+    """No drops (big buffers, light load) -> no RTO fired after
+    establishment."""
+    drops = sum(p.stats.dropped for p in tlb_run.net.ports.values())
+    if drops == 0:
+        assert all(s.timeouts == 0 for s in tlb_run.registry.all_stats())

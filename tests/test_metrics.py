@@ -1,0 +1,215 @@
+"""Tests for the metrics layer (FCT, deadlines, throughput, reordering,
+utilisation, time series)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.deadlines import count_deadline_misses, deadline_miss_ratio
+from repro.metrics.fct import FctSummary, fct_cdf, fct_summary, split_by_size
+from repro.metrics.reordering import DupAckTracker, reordering_summary
+from repro.metrics.throughput import (
+    ThroughputTracker,
+    long_flow_goodputs,
+    mean_long_goodput,
+)
+from repro.metrics.timeseries import BinnedSeries
+from repro.metrics.utilization import jain_index
+from repro.transport.flow import Flow, FlowRegistry
+
+
+def make_stats(size=50_000, start=0.0, fct=None, deadline=None, flow_id=None,
+               registry=None, **counters):
+    registry = registry if registry is not None else FlowRegistry()
+    fid = flow_id if flow_id is not None else len(registry) + 1
+    flow = Flow(id=fid, src="h0", dst="h1", size=size, start_time=start,
+                deadline=deadline)
+    stats = registry.add(flow)
+    if fct is not None:
+        stats.completed = start + fct
+    for k, v in counters.items():
+        setattr(stats, k, v)
+    return stats
+
+
+# -- BinnedSeries ------------------------------------------------------------
+
+def test_binned_series_accumulates():
+    s = BinnedSeries(0.1)
+    s.add(0.05, 2.0)
+    s.add(0.07, 3.0)
+    s.add(0.25, 10.0)
+    assert s.sums.tolist() == [5.0, 0.0, 10.0]
+    assert s.counts.tolist() == [2, 0, 1]
+    assert s.times.tolist() == pytest.approx([0.05, 0.15, 0.25])
+
+
+def test_binned_series_means_nan_for_empty():
+    s = BinnedSeries(0.1)
+    s.add(0.25, 10.0)
+    means = s.means()
+    assert math.isnan(means[0])
+    assert means[2] == 10.0
+
+
+def test_binned_series_rates():
+    s = BinnedSeries(0.5)
+    s.add(0.1, 100.0)
+    assert s.rates().tolist() == [200.0]
+
+
+def test_binned_series_rejects_bad_input():
+    with pytest.raises(ConfigError):
+        BinnedSeries(0.0)
+    s = BinnedSeries(0.1, start=1.0)
+    with pytest.raises(ConfigError):
+        s.add(0.5)
+
+
+# -- FCT ---------------------------------------------------------------------
+
+def test_fct_summary_basic():
+    reg = FlowRegistry()
+    for i, fct in enumerate([0.01, 0.02, 0.03, 0.04], start=1):
+        make_stats(flow_id=i, fct=fct, registry=reg)
+    s = fct_summary(reg.all_stats())
+    assert s.n_flows == 4
+    assert s.n_completed == 4
+    assert s.mean == pytest.approx(0.025)
+    assert s.p50 == pytest.approx(0.025)
+    assert s.max == pytest.approx(0.04)
+    assert s.completion_ratio == 1.0
+
+
+def test_fct_summary_handles_unfinished():
+    reg = FlowRegistry()
+    make_stats(flow_id=1, fct=0.01, registry=reg)
+    make_stats(flow_id=2, fct=None, registry=reg)
+    s = fct_summary(reg.all_stats())
+    assert s.n_flows == 2
+    assert s.n_completed == 1
+    assert s.completion_ratio == 0.5
+    assert s.mean == pytest.approx(0.01)
+
+
+def test_fct_summary_empty():
+    s = fct_summary([])
+    assert s.n_flows == 0
+    assert math.isnan(s.mean)
+
+
+def test_split_by_size():
+    reg = FlowRegistry()
+    make_stats(flow_id=1, size=50_000, registry=reg)
+    make_stats(flow_id=2, size=100_000, registry=reg)
+    make_stats(flow_id=3, size=5_000_000, registry=reg)
+    short, long_ = split_by_size(reg.all_stats(), 100_000)
+    assert [s.flow.id for s in short] == [1]
+    assert [s.flow.id for s in long_] == [2, 3]
+
+
+def test_fct_cdf():
+    reg = FlowRegistry()
+    for i, fct in enumerate([0.03, 0.01, 0.02], start=1):
+        make_stats(flow_id=i, fct=fct, registry=reg)
+    vals, probs = fct_cdf(reg.all_stats())
+    assert vals.tolist() == pytest.approx([0.01, 0.02, 0.03])
+    assert probs.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+# -- deadlines --------------------------------------------------------------
+
+def test_deadline_misses():
+    reg = FlowRegistry()
+    make_stats(flow_id=1, fct=0.005, deadline=0.010, registry=reg)   # met
+    make_stats(flow_id=2, fct=0.020, deadline=0.010, registry=reg)   # missed
+    make_stats(flow_id=3, fct=None, deadline=0.010, registry=reg)    # missed
+    make_stats(flow_id=4, fct=0.5, registry=reg)                     # no deadline
+    misses, total = count_deadline_misses(reg.all_stats())
+    assert (misses, total) == (2, 3)
+    assert deadline_miss_ratio(reg.all_stats()) == pytest.approx(2 / 3)
+
+
+def test_deadline_ratio_nan_when_no_deadlines():
+    reg = FlowRegistry()
+    make_stats(flow_id=1, fct=0.5, registry=reg)
+    assert math.isnan(deadline_miss_ratio(reg.all_stats()))
+
+
+# -- throughput ---------------------------------------------------------------
+
+def test_goodputs_completed_flows():
+    reg = FlowRegistry()
+    make_stats(flow_id=1, size=1_000_000, fct=1.0, registry=reg)
+    make_stats(flow_id=2, size=50_000, fct=0.01, registry=reg)  # short: skipped
+    g = long_flow_goodputs(reg.all_stats(), 100_000)
+    assert g.tolist() == pytest.approx([8_000_000.0])
+    assert mean_long_goodput(reg.all_stats(), 100_000) == pytest.approx(8e6)
+
+
+def test_goodputs_unfinished_uses_horizon():
+    reg = FlowRegistry()
+    s = make_stats(flow_id=1, size=1_000_000, start=1.0, registry=reg)
+    s.bytes_delivered = 500_000
+    g = long_flow_goodputs(reg.all_stats(), 100_000, horizon=2.0)
+    assert g.tolist() == pytest.approx([4_000_000.0])
+    assert long_flow_goodputs(reg.all_stats(), 100_000).size == 0
+
+
+def test_throughput_tracker_splits_classes():
+    t = ThroughputTracker(bin_width=0.1, short_threshold=100_000)
+    short_flow = Flow(id=1, src="a", dst="b", size=50_000, start_time=0)
+    long_flow = Flow(id=2, src="a", dst="b", size=500_000, start_time=0)
+    t.on_delivery(short_flow, 0.05, 1000)
+    t.on_delivery(long_flow, 0.05, 2000)
+    t.on_delivery(long_flow, 0.15, 3000)
+    assert t.short_series().sums.tolist() == [1000.0]
+    assert t.long_series().sums.tolist() == [2000.0, 3000.0]
+    assert t.long_rate_bps().tolist() == pytest.approx([160_000.0, 240_000.0])
+
+
+# -- reordering ----------------------------------------------------------------
+
+def test_reordering_summary_sums():
+    reg = FlowRegistry()
+    make_stats(flow_id=1, packets_received=10, out_of_order=2, acks_sent=10,
+               dup_acks_sent=3, registry=reg)
+    make_stats(flow_id=2, packets_received=10, out_of_order=0, acks_sent=10,
+               dup_acks_sent=1, registry=reg)
+    r = reordering_summary(reg.all_stats())
+    assert r.out_of_order_ratio == pytest.approx(0.1)
+    assert r.dup_ack_ratio == pytest.approx(0.2)
+
+
+def test_reordering_summary_empty():
+    r = reordering_summary([])
+    assert r.dup_ack_ratio == 0.0
+    assert r.out_of_order_ratio == 0.0
+
+
+def test_dupack_tracker():
+    t = DupAckTracker(bin_width=0.1, short_threshold=100_000)
+    short_flow = Flow(id=1, src="a", dst="b", size=50_000, start_time=0)
+    long_flow = Flow(id=2, src="a", dst="b", size=500_000, start_time=0)
+    t.on_dupack(short_flow, 0.05)
+    t.on_dupack(short_flow, 0.06)
+    t.on_dupack(long_flow, 0.15)
+    assert t.short_rate().tolist() == [20.0]
+    assert t.long_rate().tolist() == [0.0, 10.0]
+
+
+# -- utilisation -----------------------------------------------------------------
+
+def test_jain_index_balanced():
+    assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+
+def test_jain_index_skewed():
+    assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+
+def test_jain_index_edge_cases():
+    assert math.isnan(jain_index([]))
+    assert jain_index([0, 0]) == 1.0

@@ -1,0 +1,184 @@
+"""Tests for the §4 analytic queueing model (Eqs. 1–9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import model
+from repro.errors import ModelError
+
+C = model.capacity_pps(1e9)  # ~83k packets/s at 1500 B packets
+
+
+def test_capacity_pps():
+    assert C == pytest.approx(1e9 / (8 * 1500))
+    with pytest.raises(ModelError):
+        model.capacity_pps(0)
+    with pytest.raises(ModelError):
+        model.capacity_pps(1e9, 0)
+
+
+def test_slow_start_rounds_eq3():
+    # 2, 4, 8... packets per round: x packets need floor(log2 x) + 1 rounds
+    assert model.slow_start_rounds(1) == 1
+    assert model.slow_start_rounds(2) == 2
+    assert model.slow_start_rounds(3) == 2
+    assert model.slow_start_rounds(4) == 3
+    assert model.slow_start_rounds(48) == 6
+    assert model.slow_start_rounds(100) == 7
+
+
+def test_slow_start_rounds_vectorised():
+    r = model.slow_start_rounds(np.array([1, 2, 4, 48]))
+    assert r.tolist() == [1, 2, 3, 6]
+
+
+def test_slow_start_rounds_rejects_nonpositive():
+    with pytest.raises(ModelError):
+        model.slow_start_rounds(0)
+
+
+def test_pk_waiting_time_eq6():
+    # rho=0.5: E[W] = 0.5/(2*0.5) / C = 0.5/C
+    assert model.pk_waiting_time(0.5, C) == pytest.approx(0.5 / C)
+    assert model.pk_waiting_time(0.0, C) == 0.0
+
+
+def test_pk_waiting_time_diverges_near_one():
+    w9 = model.pk_waiting_time(0.9, C)
+    w99 = model.pk_waiting_time(0.99, C)
+    assert w99 > 10 * w9 / 2
+
+
+def test_pk_waiting_time_domain():
+    with pytest.raises(ModelError):
+        model.pk_waiting_time(1.0, C)
+    with pytest.raises(ModelError):
+        model.pk_waiting_time(-0.1, C)
+
+
+def test_required_short_paths_scales_linearly_in_m_s():
+    n1 = model.required_short_paths(50, 48, 0.010, C)
+    n2 = model.required_short_paths(100, 48, 0.010, C)
+    assert n2 == pytest.approx(2 * n1)
+
+
+def test_required_short_paths_decreases_with_deadline():
+    tight = model.required_short_paths(100, 48, 0.006, C)
+    loose = model.required_short_paths(100, 48, 0.020, C)
+    assert loose < tight
+
+
+def test_required_short_paths_infeasible_deadline():
+    # x/c for 48 packets ~ 0.58 ms; a 0.1 ms deadline is impossible
+    with pytest.raises(ModelError):
+        model.required_short_paths(10, 48, 0.0001, C)
+
+
+def test_required_short_paths_zero_shorts():
+    assert model.required_short_paths(0, 48, 0.010, C) == 0.0
+
+
+def test_switching_threshold_eq1():
+    # q_th = m_L * W_L * (t/RTT) / n_L - t*C
+    q = model.switching_threshold(3, 44.8, 500e-6, 100e-6, 9.0, C)
+    expected = 3 * 44.8 * 5 / 9.0 - 500e-6 * C
+    assert q == pytest.approx(expected)
+
+
+def test_switching_threshold_needs_positive_paths():
+    with pytest.raises(ModelError):
+        model.switching_threshold(3, 44.8, 500e-6, 100e-6, 0.0, C)
+
+
+def test_qth_full_paper_operating_point():
+    """§4.2 defaults: 100 shorts of 70 KB, 3 longs, 15 paths, D=10 ms.
+
+    The threshold must land in a plausible packet range (tens of
+    packets, within a 512-packet buffer)."""
+    q = model.qth_full(100, 3, 70_000 / 1460, 0.010, 15, 65536 / 1460,
+                       500e-6, 100e-6, model.capacity_pps(1e9))
+    assert 5 < q < 200
+
+
+def test_qth_full_monotone_in_m_short():
+    qs = [model.qth_full(m, 3, 48, 0.010, 15, 44.8, 500e-6, 100e-6, C)
+          for m in (20, 60, 100, 140)]
+    assert qs == sorted(qs)
+    assert qs[-1] > qs[0]
+
+
+def test_qth_full_monotone_in_m_long():
+    qs = [model.qth_full(100, m, 48, 0.010, 15, 44.8, 500e-6, 100e-6, C)
+          for m in (1, 2, 3, 4, 5)]
+    assert qs == sorted(qs)
+
+
+def test_qth_full_decreases_with_paths():
+    qs = [model.qth_full(100, 3, 48, 0.010, n, 44.8, 500e-6, 100e-6, C)
+          for n in (10, 15, 20, 25)]
+    assert qs == sorted(qs, reverse=True)
+
+
+def test_qth_full_decreases_with_deadline():
+    qs = [model.qth_full(100, 3, 48, d, 15, 44.8, 500e-6, 100e-6, C)
+          for d in (0.006, 0.010, 0.015, 0.020, 0.025)]
+    assert qs == sorted(qs, reverse=True)
+
+
+def test_qth_full_infeasible_when_shorts_need_all_paths():
+    with pytest.raises(ModelError):
+        model.qth_full(10_000, 3, 48, 0.010, 15, 44.8, 500e-6, 100e-6, C)
+
+
+def test_qth_full_vectorised():
+    ms = np.array([20, 60, 100])
+    qs = model.qth_full(ms, 3, 48, 0.010, 15, 44.8, 500e-6, 100e-6, C)
+    assert qs.shape == (3,)
+    assert (np.diff(qs) > 0).all()
+
+
+def test_mean_short_fct_is_fixed_point_of_eq8():
+    """The root must satisfy Eq. 8 exactly."""
+    m_s, x, n_s = 100, 48.0, 6.0
+    r = model.slow_start_rounds(x)
+    f = model.mean_short_fct(m_s, x, n_s, C, rounds=r)
+    rhs = r * m_s * x / (2 * C * (f * n_s * C - m_s * x)) + x / C
+    assert f == pytest.approx(rhs, rel=1e-9)
+
+
+def test_mean_short_fct_exceeds_transmission_delay():
+    f = model.mean_short_fct(100, 48, 6.0, C)
+    assert f > 48 / C
+
+
+def test_mean_short_fct_grows_with_load():
+    f1 = model.mean_short_fct(50, 48, 6.0, C)
+    f2 = model.mean_short_fct(200, 48, 6.0, C)
+    assert f2 > f1
+
+
+def test_mean_short_fct_zero_load_limit():
+    f = model.mean_short_fct(0, 48, 6.0, C)
+    assert f == pytest.approx(48 / C)
+
+
+def test_mean_short_fct_rejects_nonpositive_paths():
+    with pytest.raises(ModelError):
+        model.mean_short_fct(100, 48, 0.0, C)
+
+
+def test_qth_consistency_with_required_paths():
+    """qth_full == switching_threshold evaluated at n - n_S."""
+    n_s = model.required_short_paths(100, 48, 0.010, C)
+    expected = model.switching_threshold(3, 44.8, 500e-6, 100e-6, 15 - n_s, C)
+    got = model.qth_full(100, 3, 48, 0.010, 15, 44.8, 500e-6, 100e-6, C)
+    assert got == pytest.approx(expected)
+
+
+def test_deadline_feasibility_via_mean_fct():
+    """At q_th from Eq. 9, the model's mean FCT equals the deadline —
+    the defining property of the minimum threshold."""
+    m_s, x, d, n = 100, 48.0, 0.010, 15
+    n_s = model.required_short_paths(m_s, x, d, C)
+    fct = model.mean_short_fct(m_s, x, n_s, C)
+    assert fct == pytest.approx(d, rel=1e-6)

@@ -1,0 +1,96 @@
+"""Tests for the queue-occupancy monitor."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lb import attach_scheme
+from repro.metrics.monitor import QueueMonitor
+from repro.net.topology import build_two_leaf_fabric
+from repro.transport.flow import FlowRegistry
+from repro.workload.generator import StaticWorkload
+
+from tests.conftest import make_packet, make_port
+
+
+def test_samples_on_period(sim, sink):
+    port = make_port(sim, sink)
+    mon = QueueMonitor(sim, [port], period=0.1)
+    sim.run(until=0.55)
+    assert mon.n_samples == 5
+    assert mon.times == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+
+def test_captures_queue_buildup(sim, sink):
+    # A slow port: 1500 B at 1 Mbps = 12 ms per packet.
+    port = make_port(sim, sink, rate=1e6, buffer_packets=100)
+    mon = QueueMonitor(sim, [port], period=0.001)
+    for seq in range(10):
+        port.enqueue(make_packet(seq=seq))
+    sim.run(until=0.005)
+    series = mon.series_for(port.name)
+    assert series.max() >= 8  # queue was deep at the first samples
+    sim.run(until=0.2)
+    assert mon.series_for(port.name)[-1] == 0  # drained by the end
+
+
+def test_stop_halts_sampling(sim, sink):
+    port = make_port(sim, sink)
+    mon = QueueMonitor(sim, [port], period=0.1)
+    sim.run(until=0.25)
+    mon.stop()
+    sim.run(until=1.0)
+    assert mon.n_samples == 2
+    mon.stop()  # idempotent
+
+
+def test_aggregates(sim, sink):
+    a = make_port(sim, sink, name="a")
+    b = make_port(sim, sink, name="b")
+    mon = QueueMonitor(sim, [a, b], period=0.1)
+    # park packets on 'a' only (no transmission: make it glacial)
+    a.rate = 1.0
+    for seq in range(5):
+        a.enqueue(make_packet(seq=seq))
+    sim.run(until=0.35)
+    assert mon.max_occupancy()["a"] >= 4
+    assert mon.max_occupancy()["b"] == 0
+    assert mon.mean_occupancy()["a"] > mon.mean_occupancy()["b"]
+    assert (mon.imbalance() >= 0).all()
+
+
+def test_series_for_unknown_port(sim, sink):
+    mon = QueueMonitor(sim, [make_port(sim, sink)], period=0.1)
+    with pytest.raises(ConfigError):
+        mon.series_for("nope")
+
+
+def test_empty_monitor_views(sim, sink):
+    mon = QueueMonitor(sim, [make_port(sim, sink)], period=0.1)
+    assert mon.matrix().shape == (0, 1)
+    assert mon.imbalance().size == 0
+    assert mon.max_occupancy() == {"test-port": 0}
+
+
+def test_validation(sim, sink):
+    with pytest.raises(ConfigError):
+        QueueMonitor(sim, [], period=0.1)
+    with pytest.raises(ConfigError):
+        QueueMonitor(sim, [make_port(sim, sink)], period=0.0)
+
+
+def test_ecmp_less_balanced_than_rps_in_monitor():
+    """The Fig. 2 story told by queue occupancy: packet spraying keeps
+    uplink queues more even than flow hashing."""
+    def spread(scheme):
+        net = build_two_leaf_fabric(n_paths=4, hosts_per_leaf=30)
+        attach_scheme(net, scheme)
+        mon = QueueMonitor(net.sim, net.uplink_ports(net.leaves[0]),
+                           period=0.0005)
+        reg = FlowRegistry()
+        StaticWorkload(net, reg, n_short=20, n_long=3, long_size=1_000_000,
+                       short_window=0.005).install()
+        net.sim.run(until=0.05)
+        imb = mon.imbalance()
+        return imb.mean() if imb.size else 0.0
+
+    assert spread("rps") < spread("ecmp")

@@ -1,0 +1,73 @@
+"""Tests for overhead accounting (the Fig. 15 substitution)."""
+
+import pytest
+
+from repro.lb.base import LbCounters, LoadBalancer
+from repro.metrics.overhead import OverheadModel
+
+
+class StubLb(LoadBalancer):
+    name = "stub"
+
+
+def lb_with(**counters):
+    lb = StubLb()
+    for k, v in counters.items():
+        setattr(lb.counters, k, v)
+    return lb
+
+
+def test_counters_total_ops():
+    c = LbCounters(hash_ops=1, queue_reads=2, state_reads=3, state_writes=4,
+                   rng_draws=5)
+    assert c.total_ops() == 15
+
+
+def test_note_entries_tracks_peak():
+    c = LbCounters()
+    c.note_entries(5)
+    c.note_entries(3)
+    c.note_entries(9)
+    assert c.peak_entries == 9
+
+
+def test_aggregate_sums_across_switches():
+    m = OverheadModel()
+    a = lb_with(decisions=10, hash_ops=10, peak_entries=4)
+    b = lb_with(decisions=20, hash_ops=20, peak_entries=7)
+    agg = m.aggregate("ecmp", [a, b])
+    assert agg.decisions == 30
+    assert agg.total_ops == 30
+    assert agg.peak_entries == 7  # max, not sum
+    assert agg.ops_per_decision == pytest.approx(1.0)
+
+
+def test_cpu_score_scales_with_work_and_time():
+    m = OverheadModel(op_weight=1.0, tick_weight=10.0, base_ops_per_packet=20.0)
+    agg = m.aggregate("x", [lb_with(decisions=1, hash_ops=100, timer_ticks=5)])
+    # 20 (pipeline) + 100 (ops) + 50 (ticks), over 2 seconds
+    assert m.cpu_score(agg, elapsed=2.0) == pytest.approx(170 / 2.0)
+    assert m.cpu_score(agg, elapsed=0.0) == 0.0
+
+
+def test_mem_score_scales_with_entries():
+    m = OverheadModel(entry_bytes=32, base_bytes=256)
+    agg = m.aggregate("x", [lb_with(peak_entries=10)])
+    assert m.mem_score(agg) == 256 + 320
+
+
+def test_expected_scheme_ordering():
+    """Stateless schemes must score below stateful ones, and TLB's timer
+    adds CPU — the Fig. 15 ordering, checked on synthetic counters
+    shaped like a real run."""
+    m = OverheadModel()
+    ecmp = m.aggregate("ecmp", [lb_with(decisions=1000, hash_ops=1000)])
+    presto = m.aggregate("presto", [lb_with(
+        decisions=1000, state_reads=1000, state_writes=1000, rng_draws=50,
+        peak_entries=100)])
+    tlb = m.aggregate("tlb", [lb_with(
+        decisions=1000, state_reads=1000, state_writes=1000, queue_reads=4000,
+        peak_entries=100, timer_ticks=200)])
+    t = 1.0
+    assert m.cpu_score(ecmp, t) < m.cpu_score(presto, t) < m.cpu_score(tlb, t)
+    assert m.mem_score(ecmp) < m.mem_score(presto) == m.mem_score(tlb)

@@ -1,0 +1,44 @@
+"""Tests for Packet semantics."""
+
+from repro.net.packet import ACK_SIZE, Packet
+from repro.units import DEFAULT_HEADER
+
+
+def test_ack_size_is_header_only():
+    assert ACK_SIZE == DEFAULT_HEADER
+
+
+def test_lb_key_separates_directions():
+    data = Packet(7, "h0", "h1", 0, 1500)
+    ack = Packet(7, "h1", "h0", 0, 40, is_ack=True)
+    assert data.lb_key() != ack.lb_key()
+    assert data.lb_key()[0] == ack.lb_key()[0] == 7
+
+
+def test_starts_flow_only_for_forward_syn():
+    syn = Packet(1, "h0", "h1", 0, 40, syn=True)
+    syn_ack = Packet(1, "h1", "h0", 0, 40, syn=True, is_ack=True)
+    data = Packet(1, "h0", "h1", 0, 1500)
+    assert syn.starts_flow
+    assert not syn_ack.starts_flow
+    assert not data.starts_flow
+
+
+def test_ends_flow_only_for_forward_fin():
+    fin = Packet(1, "h0", "h1", 10, 40, fin=True)
+    fin_ack = Packet(1, "h1", "h0", 11, 40, fin=True, is_ack=True)
+    assert fin.ends_flow
+    assert not fin_ack.ends_flow
+
+
+def test_deadline_carried():
+    syn = Packet(1, "h0", "h1", 0, 40, syn=True, deadline=0.01)
+    assert syn.deadline == 0.01
+
+
+def test_defaults():
+    p = Packet(1, "h0", "h1", 3, 1500)
+    assert not p.is_ack and not p.syn and not p.fin
+    assert not p.ecn_capable and not p.ecn_marked and not p.ecn_echo
+    assert p.deadline is None
+    assert p.enqueued_at == 0.0

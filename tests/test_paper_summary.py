@@ -1,0 +1,34 @@
+"""Tests for the headline-claims scorecard driver."""
+
+import pytest
+
+from repro.experiments import paper_summary
+from repro.experiments.paper_summary import ClaimRow, run_summary, tabulate
+
+
+def test_scorecard_small_scenario():
+    cfg = paper_summary.microbenchmark_config(
+        n_paths=4, hosts_per_leaf=20, n_short=15, n_long=2,
+        long_size=800_000, short_window=0.005, horizon=0.8)
+    rows = run_summary(configs={"micro": cfg}, baselines=("ecmp", "rps"))
+    assert {r.baseline for r in rows} == {"ecmp", "rps"}
+    for r in rows:
+        assert r.scenario == "micro"
+        assert -200 < r.afct_reduction_pct < 100
+        assert r.throughput_gain_pct > -100
+    # TLB should gain long-flow throughput over ECMP even at tiny scale
+    ecmp = next(r for r in rows if r.baseline == "ecmp")
+    assert ecmp.throughput_gain_pct > 0
+
+
+def test_tabulate_includes_paper_bands():
+    rows = [ClaimRow("micro", "ecmp", 25.0, 60.0, "18-40 %", "45-80 %")]
+    text = tabulate(rows)
+    assert "18-40 %" in text
+    assert "ecmp" in text
+    assert "AFCT_reduction_%" in text
+
+
+def test_paper_claims_cover_all_baselines():
+    for b in paper_summary.BASELINES:
+        assert b in paper_summary.PAPER_CLAIMS

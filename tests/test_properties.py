@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) on core data structures and the model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import model
+from repro.core.flow_table import FlowTable
+from repro.core.load_estimator import DeadlineStats, EmaEstimator
+from repro.metrics.timeseries import BinnedSeries
+from repro.metrics.utilization import jain_index
+from repro.sim.engine import Simulator
+from repro.transport.flow import Flow
+from repro.transport.rto import RtoEstimator
+from repro.workload.distributions import PiecewiseCdf, UniformSize
+
+C = model.capacity_pps(1e9)
+
+
+# -- engine ------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=50))
+def test_engine_executes_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda t=t: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=10),
+                          st.booleans()), min_size=1, max_size=40))
+def test_engine_cancelled_events_never_fire(events):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for t, cancel in events:
+        handles.append((sim.schedule(t, fired.append, t), cancel))
+    for ev, cancel in handles:
+        if cancel:
+            ev.cancel()
+    sim.run()
+    expected = sorted(t for (t, cancel) in events if not cancel)
+    assert sorted(fired) == pytest.approx(expected)
+
+
+# -- model -------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=10_000))
+def test_rounds_bracket_flow_size(x):
+    """Eq. 3's r = floor(log2 x) + 1 satisfies 2^(r-1) <= x < 2^r, and a
+    doubling sender (2, 4, 8, ... per round) always finishes within r+1
+    rounds (the formula is the paper's approximation, exact to one round)."""
+    r = int(model.slow_start_rounds(x))
+    assert 2 ** (r - 1) <= x < 2 ** r
+    covered = 2 ** (r + 2) - 2  # 2 + 4 + ... + 2^(r+1)
+    assert covered >= x
+
+
+@given(
+    m_s=st.integers(min_value=0, max_value=500),
+    x=st.floats(min_value=1, max_value=100),
+    d=st.floats(min_value=0.005, max_value=0.1),
+)
+def test_required_short_paths_nonnegative_and_monotone(m_s, x, d):
+    assume(d > x / C * 2)
+    n1 = model.required_short_paths(m_s, x, d, C)
+    n2 = model.required_short_paths(m_s + 50, x, d, C)
+    assert n1 >= 0
+    assert n2 >= n1
+
+
+@given(
+    m_l=st.integers(min_value=1, max_value=20),
+    n_l=st.floats(min_value=0.5, max_value=30),
+)
+def test_switching_threshold_monotone_in_longs(m_l, n_l):
+    q1 = model.switching_threshold(m_l, 44.8, 500e-6, 100e-6, n_l, C)
+    q2 = model.switching_threshold(m_l + 1, 44.8, 500e-6, 100e-6, n_l, C)
+    assert q2 > q1
+
+
+@given(
+    m_s=st.integers(min_value=1, max_value=200),
+    n_s=st.floats(min_value=1, max_value=15),
+)
+def test_mean_fct_satisfies_eq8(m_s, n_s):
+    x = 48.0
+    # Keep the offered load feasible.
+    assume(m_s * x < 0.8 * n_s * C * 0.05)
+    r = model.slow_start_rounds(x)
+    try:
+        f = model.mean_short_fct(m_s, x, n_s, C, rounds=r)
+    except Exception:
+        assume(False)
+    rhs = r * m_s * x / (2 * C * (f * n_s * C - m_s * x)) + x / C
+    assert f == pytest.approx(rhs, rel=1e-6)
+
+
+# -- flow table ---------------------------------------------------------------
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=8),   # flow id
+              st.sampled_from(["data", "fin", "evict"])),
+    min_size=1, max_size=200))
+def test_flow_table_counts_consistent(ops):
+    """m_short + m_long == len(table) under any operation sequence."""
+    t = FlowTable(10_000)
+    now = 0.0
+    for fid, op in ops:
+        now += 1e-4
+        key = (fid, False)
+        if op == "data":
+            t.observe(key, 1500, now)
+        elif op == "fin":
+            t.remove(key)
+        else:
+            t.evict_idle(now, idle_timeout=5e-4)
+        assert t.m_short + t.m_long == len(t)
+        assert t.m_short >= 0 and t.m_long >= 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=5000),
+                min_size=1, max_size=100))
+def test_flow_table_promotion_threshold_exact(sizes):
+    t = FlowTable(100_000)
+    key = (1, False)
+    total = 0
+    for s in sizes:
+        total += s
+        entry = t.observe(key, s, 0.0)
+        assert entry.is_long == (total > 100_000)
+
+
+# -- estimators ----------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=1, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=100),
+       st.floats(min_value=0.01, max_value=1.0))
+def test_ema_stays_within_sample_range(samples, gain):
+    e = EmaEstimator(gain, default=0.0)
+    for s in samples:
+        e.update(s)
+    assert min(samples) - 1e-6 <= e.value <= max(samples) + 1e-6
+
+
+@given(st.lists(st.floats(min_value=1e-4, max_value=10, allow_nan=False),
+                min_size=1, max_size=200),
+       st.floats(min_value=1, max_value=99))
+def test_deadline_percentile_within_window_range(deadlines, pct):
+    d = DeadlineStats(pct, default=1.0, window=64)
+    for v in deadlines:
+        d.observe(v)
+    window = deadlines[-64:]
+    assert min(window) - 1e-9 <= d.value() <= max(window) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+                min_size=1, max_size=50))
+def test_rto_always_within_bounds(samples):
+    est = RtoEstimator(min_rto=0.01, max_rto=2.0)
+    for s in samples:
+        est.sample(s)
+        assert 0.01 <= est.rto <= 2.0
+    est.on_timeout()
+    assert 0.01 <= est.rto <= 2.0
+
+
+# -- metrics -------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=10),
+                          st.floats(min_value=-100, max_value=100)),
+                min_size=1, max_size=200),
+       st.floats(min_value=0.01, max_value=5))
+def test_binned_series_conserves_mass(points, width):
+    s = BinnedSeries(width)
+    for t, v in points:
+        s.add(t, v)
+    assert s.sums.sum() == pytest.approx(sum(v for _, v in points), abs=1e-6)
+    assert int(s.counts.sum()) == len(points)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=50))
+def test_jain_index_range(values):
+    j = jain_index(values)
+    n = len(values)
+    assert 1.0 / n - 1e-9 <= j <= 1.0 + 1e-9
+
+
+# -- workload -------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_piecewise_samples_within_support(seed):
+    dist = PiecewiseCdf([(100, 0.0), (1000, 0.5), (10_000, 1.0)])
+    sizes = dist.sample(np.random.default_rng(seed), 200)
+    assert sizes.min() >= 100
+    assert sizes.max() <= 10_000
+
+
+@given(st.integers(min_value=1, max_value=10**7))
+def test_flow_packetisation_conserves_bytes(size):
+    f = Flow(id=1, src="a", dst="b", size=size, start_time=0.0)
+    total = sum(f.payload_of(i) for i in range(f.n_packets))
+    assert total == size
+    assert all(1 <= f.payload_of(i) <= f.mss for i in range(f.n_packets))
+
+
+@given(st.integers(min_value=1, max_value=2**31 - 1))
+def test_uniform_size_support(seed):
+    d = UniformSize(500, 600)
+    s = d.sample(np.random.default_rng(seed), 50)
+    assert s.min() >= 500 and s.max() <= 600

@@ -1,0 +1,84 @@
+"""Tests for the P² streaming quantile estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.metrics.quantiles import P2Quantile
+
+
+def feed(p, values):
+    est = P2Quantile(p)
+    for v in values:
+        est.observe(v)
+    return est
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        P2Quantile(0.0)
+    with pytest.raises(ConfigError):
+        P2Quantile(1.0)
+    with pytest.raises(ConfigError):
+        P2Quantile(0.5).value()
+
+
+def test_exact_below_five_samples():
+    est = feed(0.5, [5.0, 1.0, 3.0])
+    assert est.value() == 3.0
+
+
+def test_median_of_uniform_stream():
+    rng = np.random.default_rng(0)
+    data = rng.uniform(0, 100, size=20_000)
+    est = feed(0.5, data)
+    assert est.value() == pytest.approx(50.0, abs=2.0)
+
+
+def test_p99_of_exponential_stream():
+    rng = np.random.default_rng(1)
+    data = rng.exponential(1.0, size=50_000)
+    est = feed(0.99, data)
+    true = -np.log(0.01)  # 4.605
+    assert est.value() == pytest.approx(true, rel=0.1)
+
+
+def test_p25_matches_numpy_on_normal_stream():
+    rng = np.random.default_rng(2)
+    data = rng.normal(10, 3, size=30_000)
+    est = feed(0.25, data)
+    assert est.value() == pytest.approx(np.percentile(data, 25), abs=0.3)
+
+
+def test_deadline_use_case():
+    """The TLB §6.3 setting: 25th percentile of U[5, 25] ms deadlines."""
+    rng = np.random.default_rng(3)
+    est = feed(0.25, rng.uniform(0.005, 0.025, size=5_000))
+    assert est.value() == pytest.approx(0.010, abs=0.001)
+
+
+def test_constant_memory():
+    est = feed(0.9, np.random.default_rng(4).random(10_000))
+    assert len(est._q) == 5
+    assert len(est._initial) == 5  # bootstrap buffer never grows
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=5, max_size=500),
+       st.floats(min_value=0.05, max_value=0.95))
+def test_estimate_within_observed_range(values, p):
+    est = feed(p, values)
+    assert min(values) - 1e-9 <= est.value() <= max(values) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_markers_stay_sorted(seed):
+    rng = np.random.default_rng(seed)
+    est = feed(0.5, rng.normal(size=500))
+    assert est._q == sorted(est._q)
+    assert est._n == sorted(est._n)

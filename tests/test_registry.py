@@ -1,0 +1,77 @@
+"""Tests for the scheme registry and attachment."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.lb.base import LoadBalancer
+from repro.lb.registry import (
+    attach_scheme,
+    available_schemes,
+    build_scheme,
+    register_scheme,
+    SCHEMES,
+)
+from repro.net.topology import build_two_leaf_fabric
+
+
+def test_all_paper_schemes_available():
+    names = available_schemes()
+    for required in ("ecmp", "rps", "presto", "letflow", "tlb"):
+        assert required in names
+    for extra in ("drill", "conga", "wcmp", "fixed"):
+        assert extra in names
+
+
+def test_unknown_scheme_raises():
+    net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=1)
+    with pytest.raises(SchemeError):
+        build_scheme("nope", net, net.leaves[0])
+
+
+def test_attach_only_to_multipath_switches():
+    net = build_two_leaf_fabric(n_paths=3, hosts_per_leaf=2)
+    balancers = attach_scheme(net, "ecmp")
+    assert set(balancers) == {"leaf0", "leaf1"}
+    for sp in net.spines:
+        assert sp.lb is None
+
+
+def test_attach_creates_distinct_instances_with_distinct_seeds():
+    net = build_two_leaf_fabric(n_paths=3, hosts_per_leaf=2)
+    balancers = attach_scheme(net, "letflow")
+    assert balancers["leaf0"] is not balancers["leaf1"]
+    # seeds differ -> RNG states differ
+    a = balancers["leaf0"].rng.random()
+    b = balancers["leaf1"].rng.random()
+    assert a != b
+
+
+def test_params_forwarded_to_factory():
+    net = build_two_leaf_fabric(n_paths=3, hosts_per_leaf=2)
+    balancers = attach_scheme(net, "letflow", flowlet_timeout=0.123)
+    assert balancers["leaf0"].flowlet_timeout == 0.123
+
+
+def test_custom_scheme_registration():
+    class MyLb(LoadBalancer):
+        name = "custom-test"
+
+        def select_port(self, pkt, ports):
+            return ports[0]
+
+    register_scheme("custom-test", lambda seed, net, sw, params: MyLb(seed))
+    try:
+        net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=1)
+        balancers = attach_scheme(net, "custom-test")
+        assert isinstance(balancers["leaf0"], MyLb)
+    finally:
+        SCHEMES.pop("custom-test", None)
+
+
+def test_attachment_reproducible_per_seed():
+    def salt_for(seed):
+        net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=1, seed=seed)
+        return attach_scheme(net, "ecmp")["leaf0"].salt
+
+    assert salt_for(5) == salt_for(5)
+    assert salt_for(5) != salt_for(6)

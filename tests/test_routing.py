@@ -1,0 +1,64 @@
+"""Tests for generic ECMP route computation."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import RoutingError
+from repro.net.routing import ecmp_next_hops, install_ecmp_routes
+from repro.net.topology import build_two_leaf_fabric
+
+
+def test_next_hops_on_leaf_spine():
+    net = build_two_leaf_fabric(n_paths=4, hosts_per_leaf=2)
+    hops = ecmp_next_hops(net.graph, "h2")
+    # leaf0 has all four spines as next hops towards a remote host
+    assert hops["leaf0"] == [f"spine{i}" for i in range(4)]
+    # spines forward to leaf1
+    assert hops["spine0"] == ["leaf1"]
+    # the destination's leaf goes straight down
+    assert hops["leaf1"] == ["h2"]
+    # the source host's only next hop is its leaf
+    assert hops["h0"] == ["leaf0"]
+
+
+def test_unknown_destination_raises():
+    g = nx.path_graph(3)
+    with pytest.raises(RoutingError):
+        ecmp_next_hops(g, 99)
+
+
+def test_unreachable_node_raises():
+    g = nx.Graph()
+    g.add_edge("a", "b")
+    g.add_node("island")
+    with pytest.raises(RoutingError):
+        ecmp_next_hops(g, "a")
+
+
+def test_install_matches_builtin_routes():
+    """Generic ECMP derivation must agree with the builder's routes."""
+    net = build_two_leaf_fabric(n_paths=3, hosts_per_leaf=2)
+    builtin = {
+        (sw.name, dst): tuple(p.name for p in ports)
+        for sw in net.switches.values()
+        for dst, ports in sw.routes.items()
+    }
+    # wipe and reinstall
+    for sw in net.switches.values():
+        sw.routes.clear()
+    install_ecmp_routes(net)
+    regenerated = {
+        (sw.name, dst): tuple(p.name for p in ports)
+        for sw in net.switches.values()
+        for dst, ports in sw.routes.items()
+    }
+    assert regenerated == builtin
+
+
+def test_install_subset_of_hosts():
+    net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=2)
+    for sw in net.switches.values():
+        sw.routes.clear()
+    install_ecmp_routes(net, host_names=["h0"])
+    assert "h0" in net.leaves[1].routes
+    assert "h1" not in net.leaves[1].routes

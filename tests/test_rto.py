@@ -1,0 +1,73 @@
+"""Tests for the RTO estimator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.transport.rto import RtoEstimator
+
+
+def test_initial_rto_before_samples():
+    est = RtoEstimator(min_rto=0.010)
+    assert est.srtt is None
+    assert est.rto == pytest.approx(0.030)
+
+
+def test_first_sample_initialises_srtt():
+    est = RtoEstimator(min_rto=0.001)
+    est.sample(0.010)
+    assert est.srtt == pytest.approx(0.010)
+    # rto = srtt + 4 * rttvar = 0.010 + 4 * 0.005
+    assert est.rto == pytest.approx(0.030)
+
+
+def test_smoothing_converges():
+    est = RtoEstimator(min_rto=0.0001)
+    for _ in range(200):
+        est.sample(0.010)
+    assert est.srtt == pytest.approx(0.010, rel=1e-3)
+    assert est.rto < 0.012  # variance decays towards the floor
+
+
+def test_min_rto_floor():
+    est = RtoEstimator(min_rto=0.050)
+    for _ in range(50):
+        est.sample(0.001)
+    assert est.rto == pytest.approx(0.050)
+
+
+def test_max_rto_ceiling():
+    est = RtoEstimator(min_rto=0.010, max_rto=0.100)
+    est.sample(1.0)
+    assert est.rto == pytest.approx(0.100)
+
+
+def test_backoff_doubles_and_caps():
+    est = RtoEstimator(min_rto=0.010, max_rto=10.0)
+    est.sample(0.010)
+    base = est.rto
+    est.on_timeout()
+    assert est.rto == pytest.approx(min(2 * base, 10.0))
+    est.on_timeout()
+    assert est.rto == pytest.approx(min(4 * base, 10.0))
+
+
+def test_sample_clears_backoff():
+    est = RtoEstimator(min_rto=0.010)
+    est.sample(0.010)
+    est.on_timeout()
+    est.on_timeout()
+    inflated = est.rto
+    est.sample(0.010)
+    assert est.rto < inflated
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ConfigError):
+        RtoEstimator(min_rto=0.0)
+    with pytest.raises(ConfigError):
+        RtoEstimator(min_rto=1.0, max_rto=0.5)
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ConfigError):
+        RtoEstimator().sample(-0.001)

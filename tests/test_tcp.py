@@ -1,0 +1,246 @@
+"""Unit tests for the TCP sender, driven by hand-crafted ACKs."""
+
+import pytest
+
+from repro.errors import ConfigError, TransportError
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.transport.flow import Flow, FlowRegistry
+from repro.transport.tcp import TcpConfig, TcpSender
+
+
+class FakeHost:
+    """Captures everything the sender transmits."""
+
+    def __init__(self, sim, name="h0"):
+        self.sim = sim
+        self.name = name
+        self.sent = []
+        self.senders = {}
+        self.unregistered = []
+
+    def register_sender(self, flow_id, agent):
+        self.senders[flow_id] = agent
+
+    def unregister_flow(self, flow_id):
+        self.unregistered.append(flow_id)
+
+    def send(self, pkt):
+        pkt.sent_time = self.sim.now
+        self.sent.append(pkt)
+
+
+def make_sender(n_packets=20, config=None, sim=None, host=None, deadline=None):
+    sim = sim or Simulator()
+    host = host or FakeHost(sim)
+    flow = Flow(id=1, src="h0", dst="h1", size=n_packets * 1460,
+                start_time=0.0, deadline=deadline)
+    reg = FlowRegistry()
+    stats = reg.add(flow)
+    sender = TcpSender(sim, host, flow, stats, config or TcpConfig())
+    return sim, host, sender, stats
+
+
+def syn_ack():
+    return Packet(1, "h1", "h0", 0, 40, is_ack=True, syn=True)
+
+
+def ack(value, *, echo=False):
+    return Packet(1, "h1", "h0", value, 40, is_ack=True, ecn_echo=echo)
+
+
+def fin_ack():
+    return Packet(1, "h1", "h0", 0, 40, is_ack=True, fin=True)
+
+
+def establish(sim, host, sender):
+    sender.start()
+    sender.handle(syn_ack())
+    return [p for p in host.sent if not p.syn]
+
+
+def test_start_sends_syn_with_deadline():
+    sim, host, sender, stats = make_sender(deadline=0.01)
+    sender.start()
+    assert len(host.sent) == 1
+    syn = host.sent[0]
+    assert syn.syn and not syn.is_ack
+    assert syn.deadline == 0.01
+    assert stats.syn_sent == 0.0
+
+
+def test_initial_window_is_two_packets():
+    sim, host, sender, _ = make_sender()
+    data = establish(sim, host, sender)
+    assert [p.seq for p in data] == [0, 1]
+
+
+def test_slow_start_doubles_per_round():
+    """2, then 4, then 8 packets in flight — the paper's Eq. 3 pattern."""
+    sim, host, sender, _ = make_sender(n_packets=30)
+    establish(sim, host, sender)
+    # Round 1 acked: 2 new ACKs
+    sender.handle(ack(1))
+    sender.handle(ack(2))
+    sent = [p.seq for p in host.sent if not p.syn]
+    assert sent == [0, 1, 2, 3, 4, 5]  # cwnd 4: seqs 2..5 outstanding
+    sender.handle(ack(4))
+    sender.handle(ack(6))
+    sent = [p.seq for p in host.sent if not p.syn]
+    assert len(sent) == 2 + 4 + 8
+
+
+def test_rwnd_caps_window():
+    cfg = TcpConfig(rwnd_bytes=10 * 1460)
+    sim, host, sender, _ = make_sender(n_packets=100, config=cfg)
+    establish(sim, host, sender)
+    for i in range(1, 60):
+        sender.handle(ack(i))
+    assert sender.effective_window <= 10
+    assert sender.in_flight <= 10
+
+
+def test_three_dup_acks_trigger_fast_retransmit():
+    sim, host, sender, stats = make_sender(n_packets=30)
+    establish(sim, host, sender)
+    for v in (1, 2, 3, 4):
+        sender.handle(ack(v))
+    host.sent.clear()
+    # seq 4 lost: receiver keeps acking 4
+    sender.handle(ack(4))
+    sender.handle(ack(4))
+    assert stats.retransmits == 0
+    sender.handle(ack(4))  # third dup
+    retx = [p for p in host.sent if p.seq == 4 and not p.syn]
+    assert len(retx) == 1
+    assert stats.retransmits == 1
+    assert stats.dup_acks_received == 3
+    assert sender.state == 2  # fast recovery
+
+
+def test_fast_recovery_exit_restores_ssthresh():
+    sim, host, sender, _ = make_sender(n_packets=40)
+    establish(sim, host, sender)
+    for v in range(1, 9):
+        sender.handle(ack(v))
+    cwnd_before = sender.cwnd
+    for _ in range(3):
+        sender.handle(ack(8))
+    assert sender.state == 2
+    recover_point = sender.recover
+    sender.handle(ack(recover_point))  # full recovery
+    assert sender.state == 1  # congestion avoidance
+    assert sender.cwnd == pytest.approx(max(cwnd_before / 2, 2.0))
+
+
+def test_newreno_partial_ack_retransmits_next_hole():
+    sim, host, sender, stats = make_sender(n_packets=40)
+    establish(sim, host, sender)
+    for v in range(1, 9):
+        sender.handle(ack(v))
+    for _ in range(3):
+        sender.handle(ack(8))  # enter FR, retransmit 8
+    host.sent.clear()
+    sender.handle(ack(10))  # partial: hole at 10 remains
+    assert any(p.seq == 10 for p in host.sent)
+    assert sender.state == 2  # still in recovery
+
+
+def test_rto_collapses_window_and_resends():
+    sim, host, sender, stats = make_sender(n_packets=30)
+    establish(sim, host, sender)
+    sender.handle(ack(2))  # cwnd grows; seqs 0..? sent
+    host.sent.clear()
+    sim.run(until=5.0)  # nothing acked: RTO fires (and backs off)
+    assert stats.timeouts >= 1
+    assert sender.cwnd == pytest.approx(sender.config.initial_cwnd)
+    resent = [p.seq for p in host.sent if not p.syn]
+    assert resent[0] == 2  # go-back-N from snd_una
+
+
+def test_syn_timeout_resends_syn():
+    sim, host, sender, stats = make_sender()
+    sender.start()
+    sim.run(until=1.0)
+    syns = [p for p in host.sent if p.syn]
+    assert len(syns) >= 2
+    assert stats.timeouts == 0  # SYN retries don't count as data timeouts
+
+
+def test_completion_sends_fin_then_closes():
+    sim, host, sender, stats = make_sender(n_packets=2)
+    establish(sim, host, sender)
+    sender.handle(ack(2))
+    fins = [p for p in host.sent if p.fin]
+    assert len(fins) == 1
+    assert stats.acked == sim.now
+    assert not sender.closed
+    sender.handle(fin_ack())
+    assert sender.closed
+    assert stats.closed is not None
+    assert host.unregistered == [1]
+
+
+def test_fin_retransmitted_on_timeout():
+    sim, host, sender, _ = make_sender(n_packets=2)
+    establish(sim, host, sender)
+    sender.handle(ack(2))
+    sim.run(until=2.0)
+    fins = [p for p in host.sent if p.fin]
+    assert len(fins) >= 2
+
+
+def test_acks_after_close_ignored():
+    sim, host, sender, _ = make_sender(n_packets=2)
+    establish(sim, host, sender)
+    sender.handle(ack(2))
+    sender.handle(fin_ack())
+    sender.handle(ack(2))  # must not raise
+
+
+def test_ack_beyond_flow_length_rejected():
+    sim, host, sender, _ = make_sender(n_packets=2)
+    establish(sim, host, sender)
+    with pytest.raises(TransportError):
+        sender.handle(ack(5))
+
+
+def test_duplicate_syn_ack_ignored():
+    sim, host, sender, _ = make_sender()
+    establish(sim, host, sender)
+    n_sent = len(host.sent)
+    sender.handle(syn_ack())
+    assert len(host.sent) == n_sent
+
+
+def test_sender_on_wrong_host_rejected():
+    sim = Simulator()
+    host = FakeHost(sim, name="other")
+    flow = Flow(id=1, src="h0", dst="h1", size=1460, start_time=0.0)
+    reg = FlowRegistry()
+    with pytest.raises(TransportError):
+        TcpSender(sim, host, flow, reg.add(flow))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TcpConfig(initial_cwnd=0)
+    with pytest.raises(ConfigError):
+        TcpConfig(rwnd_bytes=0)
+    with pytest.raises(ConfigError):
+        TcpConfig(dupack_threshold=0)
+
+
+def test_on_close_callback():
+    sim = Simulator()
+    host = FakeHost(sim)
+    flow = Flow(id=1, src="h0", dst="h1", size=1460, start_time=0.0)
+    reg = FlowRegistry()
+    closed = []
+    sender = TcpSender(sim, host, flow, reg.add(flow),
+                       on_close=lambda s: closed.append(s.flow.id))
+    sender.start()
+    sender.handle(syn_ack())
+    sender.handle(ack(1))
+    sender.handle(fin_ack())
+    assert closed == [1]

@@ -1,0 +1,85 @@
+"""Tests for PeriodicTimer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.timers import PeriodicTimer
+
+
+def test_fires_every_interval(sim):
+    times = []
+    PeriodicTimer(sim, 0.5, lambda: times.append(sim.now))
+    sim.run(until=2.25)
+    assert times == pytest.approx([0.5, 1.0, 1.5, 2.0])
+
+
+def test_first_fire_after_one_period_by_default(sim):
+    times = []
+    PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+    sim.run(until=0.5)
+    assert times == []
+    sim.run(until=1.5)
+    assert times == [1.0]
+
+
+def test_custom_start_time(sim):
+    times = []
+    PeriodicTimer(sim, 1.0, lambda: times.append(sim.now), start_at=0.0)
+    sim.run(until=2.5)
+    assert times == pytest.approx([0.0, 1.0, 2.0])
+
+
+def test_cancel_stops_future_fires(sim):
+    count = [0]
+    timer = PeriodicTimer(sim, 0.1, lambda: count.__setitem__(0, count[0] + 1))
+    sim.run(until=0.35)
+    timer.cancel()
+    sim.run(until=1.0)
+    assert count[0] == 3
+    assert not timer.active
+
+
+def test_cancel_from_within_callback(sim):
+    timer_box = {}
+
+    def cb():
+        timer_box["t"].cancel()
+
+    timer_box["t"] = PeriodicTimer(sim, 0.1, cb)
+    sim.run(until=1.0)
+    assert timer_box["t"].ticks == 1
+
+
+def test_callback_args_passed(sim):
+    seen = []
+    PeriodicTimer(sim, 0.1, seen.append, "payload")
+    sim.run(until=0.15)
+    assert seen == ["payload"]
+
+
+def test_tick_counter(sim):
+    t = PeriodicTimer(sim, 0.1, lambda: None)
+    sim.run(until=0.55)
+    assert t.ticks == 5
+
+
+def test_nonpositive_interval_rejected(sim):
+    with pytest.raises(ConfigError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+    with pytest.raises(ConfigError):
+        PeriodicTimer(sim, -1.0, lambda: None)
+
+
+def test_raising_callback_stops_timer(sim):
+    calls = [0]
+
+    def bad():
+        calls[0] += 1
+        raise RuntimeError("boom")
+
+    PeriodicTimer(sim, 0.1, bad)
+    with pytest.raises(RuntimeError):
+        sim.run(until=1.0)
+    # The timer did not re-arm after the exception.
+    sim.run(until=2.0)
+    assert calls[0] == 1

@@ -1,0 +1,39 @@
+"""Tests for trace sinks."""
+
+from repro.sim.trace import NullTracer, RecordingTracer
+
+
+def test_null_tracer_discards():
+    t = NullTracer()
+    assert not t.enabled
+    t.emit(0.0, "drop", port="p")  # must not raise
+
+
+def test_recording_tracer_stores_by_kind():
+    t = RecordingTracer()
+    t.emit(1.0, "enqueue", port="a", qlen=3)
+    t.emit(2.0, "drop", port="a")
+    t.emit(3.0, "enqueue", port="b", qlen=0)
+    assert t.count("enqueue") == 2
+    assert t.count("drop") == 1
+    assert [r.time for r in t.of_kind("enqueue")] == [1.0, 3.0]
+    assert t.of_kind("enqueue")[0].fields["qlen"] == 3
+
+
+def test_kind_filtering():
+    t = RecordingTracer(kinds={"drop"})
+    t.emit(0.0, "enqueue", port="a")
+    t.emit(0.1, "drop", port="a")
+    assert t.count("enqueue") == 0
+    assert t.count("drop") == 1
+
+
+def test_of_kind_missing_returns_empty():
+    assert RecordingTracer().of_kind("nope") == []
+
+
+def test_clear():
+    t = RecordingTracer()
+    t.emit(0.0, "x")
+    t.clear()
+    assert t.count("x") == 0

@@ -1,0 +1,72 @@
+"""Tests for the text rendering helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.viz import cdf_plot, hbar_chart, sparkline
+
+
+def test_sparkline_monotone_series():
+    s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+    assert len(s) == 8
+    assert s[0] == "▁" and s[-1] == "█"
+
+
+def test_sparkline_constant_is_mid():
+    assert sparkline([5, 5, 5]) == "▄▄▄"
+
+
+def test_sparkline_handles_nan_and_empty():
+    assert sparkline([]) == ""
+    s = sparkline([1.0, float("nan"), 2.0])
+    assert s[1] == " "
+    assert sparkline([float("nan")] * 3) == "   "
+
+
+def test_sparkline_resamples_to_width():
+    s = sparkline(np.arange(1000), width=20)
+    assert len(s) == 20
+    assert s[0] == "▁" and s[-1] == "█"
+
+
+def test_hbar_chart_scales_to_peak():
+    text = hbar_chart([("long-name", 10.0), ("b", 5.0)], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+    assert lines[0].startswith("long-name")
+    assert "10.00" in lines[0]
+
+
+def test_hbar_chart_nan_and_empty():
+    assert hbar_chart([]) == ""
+    text = hbar_chart([("a", float("nan")), ("b", 1.0)], width=4)
+    assert "?" in text.splitlines()[0]
+
+
+def test_hbar_chart_unit():
+    text = hbar_chart([("a", 2.0)], width=4, unit=" ms")
+    assert "2.00 ms" in text
+
+
+def test_cdf_plot_shape():
+    text = cdf_plot(np.random.default_rng(0).random(500), width=30, height=5,
+                    label="fct")
+    lines = text.splitlines()
+    assert len(lines) == 5 + 2 + 1  # grid + axis + label
+    assert "fct" in lines[-1]
+    # every column has exactly one mark across the grid rows
+    for col in range(30):
+        marks = sum(1 for r in range(5) if lines[r][6 + col] == "█")
+        assert marks == 1
+
+
+def test_cdf_plot_empty():
+    assert cdf_plot([]) == "(no data)"
+
+
+def test_cdf_plot_degenerate_single_value():
+    text = cdf_plot([3.0, 3.0, 3.0], width=10, height=4)
+    assert "█" in text

@@ -1,0 +1,47 @@
+"""Tests for deadline assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.deadlines import UniformDeadlines
+
+
+def test_short_flows_get_deadlines_longs_dont():
+    d = UniformDeadlines(0.005, 0.025, short_threshold=100_000)
+    sizes = np.array([50_000, 200_000, 99_999, 100_000])
+    out = d.assign(np.random.default_rng(0), sizes)
+    assert out[0] is not None
+    assert out[1] is None
+    assert out[2] is not None
+    assert out[3] is None  # threshold is exclusive
+
+
+def test_deadlines_within_bounds():
+    d = UniformDeadlines(0.005, 0.025)
+    sizes = np.full(1000, 1_000)
+    out = d.assign(np.random.default_rng(1), sizes)
+    vals = np.array([v for v in out if v is not None])
+    assert len(vals) == 1000
+    assert vals.min() >= 0.005
+    assert vals.max() <= 0.025
+
+
+def test_percentiles():
+    d = UniformDeadlines(0.005, 0.025)
+    assert d.percentile(0) == pytest.approx(0.005)
+    assert d.percentile(25) == pytest.approx(0.010)
+    assert d.percentile(50) == pytest.approx(0.015)
+    assert d.percentile(75) == pytest.approx(0.020)
+    assert d.percentile(100) == pytest.approx(0.025)
+    with pytest.raises(ConfigError):
+        d.percentile(101)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        UniformDeadlines(0.0, 0.025)
+    with pytest.raises(ConfigError):
+        UniformDeadlines(0.025, 0.005)
+    with pytest.raises(ConfigError):
+        UniformDeadlines(0.005, 0.025, short_threshold=0)
