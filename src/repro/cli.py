@@ -5,11 +5,16 @@ Commands
 ``schemes``
     List registered load-balancing schemes.
 ``run``
-    Run one scenario and print its metrics (optionally export CSV/JSON).
+    Run one scenario and print its metrics (optionally export CSV/JSON,
+    stream a JSONL trace with ``--trace``, profile with ``--telemetry``).
+``sweep``
+    Load sweep across schemes (``--progress`` prints a heartbeat + ETA).
 ``figure``
     Regenerate one paper figure's table (reduced scale).
 ``model``
     Evaluate the Eq. 9 threshold for given parameters (no simulation).
+``trace summarize``
+    Aggregate a JSONL trace file into per-kind (and per-node) tables.
 """
 
 from __future__ import annotations
@@ -52,16 +57,25 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one scenario")
     run.add_argument("--scheme", default="tlb")
     run.add_argument("--workload", choices=("static", "poisson"), default="static")
+    # poisson-only knobs default to None so we can tell "explicitly
+    # passed" from "defaulted" and warn under --workload static.
     run.add_argument("--sizes", choices=("web_search", "data_mining"),
-                     default="web_search")
-    run.add_argument("--load", type=float, default=0.4)
-    run.add_argument("--flows", type=int, default=150)
+                     default=None, help="flow-size distribution (poisson only;"
+                     " default web_search)")
+    run.add_argument("--load", type=float, default=None,
+                     help="offered load (poisson only; default 0.4)")
+    run.add_argument("--flows", type=int, default=None,
+                     help="number of flows (poisson only; default 150)")
     run.add_argument("--short-flows", type=int, default=100)
     run.add_argument("--long-flows", type=int, default=3)
     run.add_argument("--paths", type=int, default=15)
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--csv", help="write metrics to this CSV file")
     run.add_argument("--json", help="write metrics to this JSON file")
+    run.add_argument("--trace", metavar="FILE",
+                     help="stream a JSONL trace of the run to FILE")
+    run.add_argument("--telemetry", action="store_true",
+                     help="profile the run (wall time, events/sec, peak RSS)")
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("name", choices=sorted(FIGURES))
@@ -75,6 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--seed", type=int, default=1)
     sw.add_argument("--csv", help="write one row per (scheme, load)")
     sw.add_argument("--processes", type=int, default=None)
+    sw.add_argument("--progress", action="store_true",
+                    help="print per-task completion and ETA to stderr")
+
+    trace = sub.add_parser("trace", help="trace-file utilities")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summ = trace_sub.add_parser(
+        "summarize", help="aggregate a JSONL trace into per-kind tables")
+    summ.add_argument("path", help="trace file written by `repro run --trace`")
+    summ.add_argument("--per-node", action="store_true",
+                      help="also print the per-(kind, node) breakdown")
+    summ.add_argument("--top", type=int, default=None, metavar="N",
+                      help="limit the per-node table to each kind's N busiest nodes")
 
     model = sub.add_parser("model", help="evaluate Eq. 9 (no simulation)")
     model.add_argument("--short-flows", type=int, default=100)
@@ -94,49 +120,102 @@ def _cmd_schemes() -> int:
     return 0
 
 
+#: poisson-only `run` flags and their effective defaults (kept as None in
+#: argparse so passing one under --workload static can be diagnosed).
+_POISSON_ONLY = {"load": 0.4, "sizes": "web_search", "flows": 150}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import ScenarioConfig, run_scenario
     from repro.metrics.export import write_metrics_csv, write_metrics_json
 
     if args.workload == "static":
+        ignored = [f"--{name}" for name in _POISSON_ONLY
+                   if getattr(args, name) is not None]
+        if ignored:
+            verb = "apply" if len(ignored) > 1 else "applies"
+            print(
+                f"warning: {', '.join(ignored)} {verb} only to"
+                " --workload poisson; ignored", file=sys.stderr)
         config = ScenarioConfig(
             scheme=args.scheme, seed=args.seed, n_paths=args.paths,
             n_short=args.short_flows, n_long=args.long_flows,
             hosts_per_leaf=args.short_flows + args.long_flows,
-            short_window=0.02, distinct_hosts=True)
+            short_window=0.02, distinct_hosts=True,
+            telemetry=args.telemetry)
     else:
+        filled = {name: default if getattr(args, name) is None
+                  else getattr(args, name)
+                  for name, default in _POISSON_ONLY.items()}
         config = ScenarioConfig(
             scheme=args.scheme, seed=args.seed, workload="poisson",
-            sizes=args.sizes, load=args.load, n_flows=args.flows,
+            sizes=filled["sizes"], load=filled["load"],
+            n_flows=filled["flows"],
             n_paths=4, hosts_per_leaf=16, truncate_tail=3_000_000,
-            horizon=5.0)
-    result = run_scenario(config)
+            horizon=5.0, telemetry=args.telemetry)
+
+    tracer = counters = None
+    if args.trace:
+        from repro.obs import CountingTracer, JsonlTracer, TeeTracer
+
+        counters = CountingTracer()
+        tracer = TeeTracer(JsonlTracer(args.trace), counters)
+    try:
+        result = run_scenario(config, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(result.metrics.summary())
+    if tracer is not None:
+        print(f"wrote {args.trace} ({counters.total()} trace records)")
+    manifest = None
+    if args.csv or args.json:
+        from repro.obs import build_manifest
+
+        manifest = build_manifest(config, result.metrics, counters=counters)
     if args.csv:
-        print("wrote", write_metrics_csv(args.csv, [result.metrics]))
+        print("wrote", write_metrics_csv(
+            args.csv, [result.metrics], manifest=manifest))
     if args.json:
-        print("wrote", write_metrics_json(args.json, [result.metrics]))
+        print("wrote", write_metrics_json(
+            args.json, [result.metrics], manifest=manifest))
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.largescale import default_config, run_load_sweep, tabulate
+    from repro.experiments.largescale import (
+        default_config, sweep_row, tabulate)
     from repro.experiments.runner import run_many
     from repro.metrics.export import write_metrics_csv
 
     config = default_config(args.sizes, n_flows=args.flows, seed=args.seed)
     grid = [(s, l) for s in args.schemes for l in args.loads]
     configs = [config.with_(scheme=s, load=l) for s, l in grid]
-    metrics = run_many(configs, processes=args.processes)
-    from repro.experiments.largescale import _row
-
-    rows = [_row(s, l, m) for (s, l), m in zip(grid, metrics)]
+    metrics = run_many(configs, processes=args.processes,
+                       progress=args.progress, label="sweep")
+    rows = [sweep_row(s, l, m) for (s, l), m in zip(grid, metrics)]
     print(tabulate(rows, args.sizes))
     if args.csv:
+        from repro.obs import build_manifest
+
+        manifest = build_manifest(
+            config, counters=None,
+            extra={"sweep": {"schemes": list(args.schemes),
+                             "loads": list(args.loads)}})
         path = write_metrics_csv(
             args.csv, metrics,
-            extra_columns=[{"load": l, "swept_scheme": s} for s, l in grid])
+            extra_columns=[{"load": l, "swept_scheme": s} for s, l in grid],
+            manifest=manifest)
         print("wrote", path)
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import format_trace_summary, summarize_trace
+
+    summary = summarize_trace(args.path)
+    print(format_trace_summary(
+        summary, per_node=args.per_node, top=args.top))
     return 0
 
 
@@ -174,6 +253,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure(args.name)
     if args.command == "model":
         return _cmd_model(args)
+    if args.command == "trace":
+        if args.trace_command == "summarize":
+            return _cmd_trace_summarize(args)
+        raise AssertionError(f"unhandled trace command {args.trace_command!r}")
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

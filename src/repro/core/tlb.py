@@ -141,6 +141,14 @@ class TlbBalancer(LoadBalancer):
                     new_idx = shortest_queue_index(ports)
                     if new_idx != idx:
                         self.long_reroutes += 1
+                        # Trace via the switch's sink (absent on doubles).
+                        tracer = getattr(self.switch, "tracer", None)
+                        if tracer is not None and tracer.enabled:
+                            tracer.emit(
+                                now, "reroute", node=self.switch.name,
+                                flow=pkt.flow_id, from_port=idx, to_port=new_idx,
+                                qlen=ports[idx].queue_length, qth=self.qth,
+                            )
                     idx = new_idx
         else:
             self.load.account(pkt.size)

@@ -106,8 +106,11 @@ class ScenarioConfig:
     timeseries: bool = False
     #: bin width of the live time series, seconds
     bin_width: float = 0.010
-    #: trace kinds to record ("enqueue", "dequeue", "drop", "deliver")
+    #: trace kinds to record ("enqueue", "dequeue", "drop", "mark", ...)
     trace_kinds: tuple = ()
+    #: profile the run's wall-clock behaviour (events/sec, sim/wall
+    #: ratio, peak RSS) into ``RunMetrics.extras``
+    telemetry: bool = False
     short_threshold: int = KB(100)
 
     def __post_init__(self) -> None:
@@ -183,9 +186,10 @@ class ScenarioResult:
         return all(s.completed is not None for s in self.registry.all_stats())
 
 
-def _build_network(config: ScenarioConfig):
-    tracer = RecordingTracer(set(config.trace_kinds)) if config.trace_kinds \
-        else NullTracer()
+def _build_network(config: ScenarioConfig, tracer=None):
+    if tracer is None:
+        tracer = RecordingTracer(set(config.trace_kinds)) if config.trace_kinds \
+            else NullTracer()
     net = build_leaf_spine(config.fabric_config(), tracer=tracer)
     if config.link_overrides:
         overrides = [LinkOverride(*ov) for ov in config.link_overrides]
@@ -223,13 +227,20 @@ def _install_workload(config: ScenarioConfig, net, registry) -> WorkloadResult:
     return wl.install()
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
     """Build, run and measure one scenario.
 
     Runs in ``slice_width`` steps until either every flow has delivered
     all its data or ``config.horizon`` simulated seconds elapse.
+
+    Parameters
+    ----------
+    tracer:
+        Optional trace sink installed across the fabric, overriding the
+        config-derived one (e.g. a :class:`~repro.obs.JsonlTracer`; the
+        caller keeps ownership and closes it).
     """
-    net, tracer = _build_network(config)
+    net, tracer = _build_network(config, tracer)
     registry = FlowRegistry()
     collector = MetricsCollector(
         registry,
@@ -241,6 +252,11 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     balancers = attach_scheme(net, config.scheme, **config.scheme_params)
 
     sim = net.sim
+    telemetry = None
+    if config.telemetry:
+        from repro.obs.telemetry import RunTelemetry
+
+        telemetry = RunTelemetry(sim).start()
     pending = {f.id for f in workload.flows}
     done_ids: set[int] = set()
     registry.subscribe_completion(lambda s: done_ids.add(s.flow.id))
@@ -248,6 +264,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     while t < config.horizon and len(done_ids) < len(pending):
         t = min(t + config.slice_width, config.horizon)
         sim.run(until=t)
+    if telemetry is not None:
+        telemetry.stop()
 
     metrics = collector.finalize(
         net, scheme=config.scheme, horizon=sim.now, balancers=balancers)
@@ -256,6 +274,9 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     metrics.extras["events"] = sim.events_processed
     metrics.extras["long_reroutes"] = sum(
         getattr(lb, "long_reroutes", 0) for lb in balancers.values())
+    if telemetry is not None:
+        metrics.extras.update(telemetry.as_extras())
+    tracer.flush()
     return ScenarioResult(
         config=config,
         metrics=metrics,

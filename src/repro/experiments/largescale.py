@@ -31,6 +31,7 @@ __all__ = [
     "default_config",
     "paper_scale_config",
     "run_load_sweep",
+    "sweep_row",
     "main",
 ]
 
@@ -94,18 +95,21 @@ def run_load_sweep(
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     loads: Sequence[float] = DEFAULT_LOADS,
     processes: Optional[int] = None,
+    progress: bool = False,
 ) -> list[LoadSweepRow]:
     """The full (scheme × load) grid, parallelised across processes."""
     config = config if config is not None else default_config()
     grid = [(s, l) for s in schemes for l in loads]
     configs = [config.with_(scheme=s, load=l) for s, l in grid]
-    metrics = run_many(configs, processes=processes)
+    metrics = run_many(configs, processes=processes, progress=progress,
+                       label="load_sweep")
     return [
-        _row(s, l, m) for (s, l), m in zip(grid, metrics)
+        sweep_row(s, l, m) for (s, l), m in zip(grid, metrics)
     ]
 
 
-def _row(scheme: str, load: float, m: RunMetrics) -> LoadSweepRow:
+def sweep_row(scheme: str, load: float, m: RunMetrics) -> LoadSweepRow:
+    """Fold one run's metrics into its (scheme, load) sweep cell."""
     return LoadSweepRow(
         scheme=scheme,
         load=load,

@@ -14,11 +14,12 @@ and on machines where fork is restricted; the default uses up to
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.experiments.common import ScenarioConfig, run_scenario_metrics
 from repro.metrics.collector import RunMetrics
+from repro.obs.progress import ProgressReporter
 
 __all__ = ["run_many", "sweep"]
 
@@ -28,6 +29,8 @@ def run_many(
     *,
     processes: Optional[int] = None,
     runner: Callable[[ScenarioConfig], RunMetrics] = run_scenario_metrics,
+    progress: Union[bool, ProgressReporter] = False,
+    label: str = "run_many",
 ) -> list[RunMetrics]:
     """Run scenarios, preserving input order.
 
@@ -37,16 +40,40 @@ def run_many(
         ``0`` or ``1`` → serial.  ``None`` → ``min(cpu_count, len(configs))``.
     runner:
         The per-config function; replaceable for tests.
+    progress:
+        ``True`` prints a per-task heartbeat with ETA to stderr; pass a
+        :class:`~repro.obs.ProgressReporter` to control the destination.
+    label:
+        Heartbeat prefix when ``progress`` is ``True``.
     """
     configs = list(configs)
     if not configs:
         return []
+    reporter: Optional[ProgressReporter] = None
+    if isinstance(progress, ProgressReporter):
+        reporter = progress
+    elif progress:
+        reporter = ProgressReporter(len(configs), label=label)
     if processes is None:
         processes = min(os.cpu_count() or 1, len(configs))
     if processes <= 1 or len(configs) == 1:
-        return [runner(c) for c in configs]
+        results = []
+        for c in configs:
+            results.append(runner(c))
+            if reporter is not None:
+                reporter.task_done()
+        return results
     with ProcessPoolExecutor(max_workers=processes) as pool:
-        return list(pool.map(runner, configs))
+        if reporter is None:
+            return list(pool.map(runner, configs))
+        # submit/as_completed so the heartbeat fires as tasks finish,
+        # not in input order; results still come back in input order.
+        futures = {pool.submit(runner, c): i for i, c in enumerate(configs)}
+        results = [None] * len(configs)  # type: ignore[list-item]
+        for fut in as_completed(futures):
+            results[futures[fut]] = fut.result()
+            reporter.task_done()
+        return results
 
 
 def sweep(
@@ -55,6 +82,7 @@ def sweep(
     values: Iterable,
     *,
     processes: Optional[int] = None,
+    progress: Union[bool, ProgressReporter] = False,
     **fixed,
 ) -> list[tuple[object, RunMetrics]]:
     """Vary one config field over ``values`` (other overrides in ``fixed``).
@@ -63,5 +91,6 @@ def sweep(
     """
     values = list(values)
     configs = [base.with_(**{axis: v}, **fixed) for v in values]
-    results = run_many(configs, processes=processes)
+    results = run_many(configs, processes=processes, progress=progress,
+                       label=f"sweep:{axis}")
     return list(zip(values, results))

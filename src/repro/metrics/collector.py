@@ -66,6 +66,18 @@ class RunMetrics:
                 f" jain={self.uplink_spread['jain_bytes']:.3f}"
             ),
         ]
+        extras = self.extras
+        if "wall_time_s" in extras:
+            line = (
+                f"  telemetry: wall={extras['wall_time_s']:.3f} s"
+                f" events={extras.get('events', 0)}"
+                f" rate={extras.get('events_per_sec', 0.0):,.0f} ev/s"
+                f" sim/wall={extras.get('sim_wall_ratio', 0.0):.2f}x"
+            )
+            rss = extras.get("peak_rss_bytes")
+            if rss:
+                line += f" peak_rss={rss / 1e6:.0f} MB"
+            lines.append(line)
         return "\n".join(lines)
 
 

@@ -17,6 +17,7 @@ from typing import Iterable, Sequence
 
 from repro.metrics.collector import RunMetrics
 from repro.metrics.timeseries import BinnedSeries
+from repro.obs.manifest import write_manifest
 
 __all__ = ["metrics_to_dict", "write_metrics_csv", "write_metrics_json",
            "write_series_csv"]
@@ -27,6 +28,13 @@ def _clean(value):
     if isinstance(value, float) and not math.isfinite(value):
         return None
     return value
+
+
+def _prepared(path: str | Path) -> Path:
+    """The export path, with its parent directory created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 def metrics_to_dict(m: RunMetrics) -> dict:
@@ -58,13 +66,16 @@ def metrics_to_dict(m: RunMetrics) -> dict:
 
 
 def write_metrics_csv(path: str | Path, runs: Sequence[RunMetrics],
-                      extra_columns: Sequence[dict] | None = None) -> Path:
+                      extra_columns: Sequence[dict] | None = None,
+                      manifest: dict | None = None) -> Path:
     """Write one CSV row per run.
 
     ``extra_columns``, if given, is a parallel sequence of dicts merged
     into each row (e.g. the sweep coordinates: ``{"load": 0.4}``).
+    ``manifest``, if given (see :func:`repro.obs.build_manifest`), is
+    written as ``manifest.json`` beside the export.
     """
-    path = Path(path)
+    path = _prepared(path)
     rows = []
     for i, m in enumerate(runs):
         row = metrics_to_dict(m)
@@ -73,19 +84,26 @@ def write_metrics_csv(path: str | Path, runs: Sequence[RunMetrics],
         rows.append(row)
     if not rows:
         path.write_text("")
-        return path
-    fields = sorted({k for row in rows for k in row})
-    with path.open("w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=fields)
-        writer.writeheader()
-        writer.writerows(rows)
+    else:
+        fields = sorted({k for row in rows for k in row})
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fields)
+            writer.writeheader()
+            writer.writerows(rows)
+    if manifest is not None:
+        write_manifest(path, manifest)
     return path
 
 
 def write_metrics_json(path: str | Path, runs: Sequence[RunMetrics],
-                       extra_columns: Sequence[dict] | None = None) -> Path:
-    """Write all runs as a JSON array of flat objects."""
-    path = Path(path)
+                       extra_columns: Sequence[dict] | None = None,
+                       manifest: dict | None = None) -> Path:
+    """Write all runs as a JSON array of flat objects.
+
+    ``manifest``, if given, is written as ``manifest.json`` beside the
+    export, as for :func:`write_metrics_csv`.
+    """
+    path = _prepared(path)
     rows = []
     for i, m in enumerate(runs):
         row = metrics_to_dict(m)
@@ -93,6 +111,8 @@ def write_metrics_json(path: str | Path, runs: Sequence[RunMetrics],
             row.update(extra_columns[i])
         rows.append(row)
     path.write_text(json.dumps(rows, indent=2, allow_nan=False))
+    if manifest is not None:
+        write_manifest(path, manifest)
     return path
 
 

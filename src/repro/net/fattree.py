@@ -74,7 +74,7 @@ def build_fat_tree(
     net = Network(sim, config, tracer, rngs)
     delay = rtt / 12.0
 
-    cores = [Switch(sim, f"core{i}") for i in range(half * half)]
+    cores = [Switch(sim, f"core{i}", tracer=tracer) for i in range(half * half)]
     for c in cores:
         net.switches[c.name] = c
         net.spines.append(c)
@@ -83,8 +83,8 @@ def build_fat_tree(
     from repro.net.topology import _link  # shared two-directional wiring
 
     for p in range(k):
-        aggs = [Switch(sim, f"agg{p}_{i}") for i in range(half)]
-        edges = [Switch(sim, f"edge{p}_{i}") for i in range(half)]
+        aggs = [Switch(sim, f"agg{p}_{i}", tracer=tracer) for i in range(half)]
+        edges = [Switch(sim, f"edge{p}_{i}", tracer=tracer) for i in range(half)]
         for s in aggs + edges:
             net.switches[s.name] = s
         net.leaves.extend(edges)

@@ -86,8 +86,8 @@ class Port:
         Instantaneous-queue marking threshold *K* in packets; ``None``
         disables marking.  DCTCP's recommended K for 1 Gbps is ~20 pkts.
     tracer:
-        Optional trace sink; receives ``enqueue``/``drop``/``deliver``
-        trace points when enabled.
+        Optional trace sink; receives ``enqueue``/``dequeue``/``drop``/
+        ``mark`` trace points when enabled.
     loss_rate, loss_rng:
         Fault injection: drop each arriving packet independently with
         this probability (before queueing), using ``loss_rng`` (a
@@ -205,6 +205,11 @@ class Port:
         ):
             pkt.ecn_marked = True
             stats.ecn_marked += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "mark", port=self.name, flow=pkt.flow_id,
+                    seq=pkt.seq, qlen=len(self._queue),
+                )
         pkt.enqueued_at = self.sim.now
         stats.enqueued += 1
         stats.bytes_enqueued += pkt.size

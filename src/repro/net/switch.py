@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro.errors import RoutingError, TopologyError
 from repro.net.node import Node
 from repro.sim.engine import Simulator
+from repro.sim.trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lb.base import LoadBalancer
@@ -27,13 +28,20 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Switch"]
 
+_NULL_TRACER = NullTracer()
+
 
 class Switch(Node):
-    """A store-and-forward switch with per-destination ECMP port sets."""
+    """A store-and-forward switch with per-destination ECMP port sets.
 
-    __slots__ = ("sim", "ports", "routes", "lb", "packets_forwarded")
+    The switch carries the fabric's trace sink so control-plane code
+    attached to it — load balancers, monitors — can emit trace points
+    (e.g. TLB's ``reroute``) with node attribution.
+    """
 
-    def __init__(self, sim: Simulator, name: str):
+    __slots__ = ("sim", "ports", "routes", "lb", "packets_forwarded", "tracer")
+
+    def __init__(self, sim: Simulator, name: str, *, tracer: Tracer | None = None):
         super().__init__(name)
         self.sim = sim
         #: neighbour name -> output port towards that neighbour
@@ -42,6 +50,7 @@ class Switch(Node):
         self.routes: dict[str, tuple["Port", ...]] = {}
         self.lb: Optional["LoadBalancer"] = None
         self.packets_forwarded = 0
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
 
     # -- wiring -----------------------------------------------------------
 

@@ -224,12 +224,12 @@ def build_leaf_spine(
 
     # Nodes.
     for s in range(config.n_spines):
-        sw = Switch(sim, f"spine{s}")
+        sw = Switch(sim, f"spine{s}", tracer=tracer)
         net.switches[sw.name] = sw
         net.spines.append(sw)
     host_idx = 0
     for le in range(config.n_leaves):
-        leaf = Switch(sim, f"leaf{le}")
+        leaf = Switch(sim, f"leaf{le}", tracer=tracer)
         net.switches[leaf.name] = leaf
         net.leaves.append(leaf)
         for _ in range(config.hosts_per_leaf):

@@ -1,0 +1,40 @@
+"""Observability: file-backed tracing, run telemetry, manifests, progress.
+
+``repro.obs`` is the instrumentation layer the paper's observational
+argument needs in code form.  The substrate already emits trace points
+(:mod:`repro.sim.trace`); this package turns them into durable artefacts
+and makes whole runs self-describing:
+
+* :class:`JsonlTracer` — streams trace records to a JSON-Lines file with
+  bounded buffering (post-mortem analysis, ``repro trace summarize``);
+* :class:`CountingTracer` — near-zero-cost per-(kind, node) counters
+  (enqueue / dequeue / drop / mark / reroute / retransmit);
+* :class:`TeeTracer` — fans one trace stream out to several sinks;
+* :class:`RunTelemetry` — wall-clock profiling of a simulation run
+  (events/sec, sim-time/wall-time ratio, peak memory);
+* :func:`build_manifest` / :func:`write_manifest` — ``manifest.json``
+  beside every export, recording exactly what produced it;
+* :class:`ProgressReporter` — heartbeat + ETA for multi-run sweeps;
+* :func:`summarize_trace` — aggregate a JSONL trace back into tables.
+"""
+
+from repro.obs.manifest import MANIFEST_NAME, build_manifest, git_sha, write_manifest
+from repro.obs.progress import ProgressReporter
+from repro.obs.summarize import TraceSummary, format_trace_summary, summarize_trace
+from repro.obs.telemetry import RunTelemetry
+from repro.obs.tracers import CountingTracer, JsonlTracer, TeeTracer
+
+__all__ = [
+    "CountingTracer",
+    "JsonlTracer",
+    "TeeTracer",
+    "RunTelemetry",
+    "MANIFEST_NAME",
+    "build_manifest",
+    "git_sha",
+    "write_manifest",
+    "ProgressReporter",
+    "TraceSummary",
+    "format_trace_summary",
+    "summarize_trace",
+]

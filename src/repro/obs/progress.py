@@ -1,0 +1,83 @@
+"""Heartbeat progress for long sweeps.
+
+Figure sweeps run tens of independent simulations across worker
+processes; without feedback a multi-minute sweep is indistinguishable
+from a hang.  :class:`ProgressReporter` prints one line per completed
+task — count, percentage, elapsed time, and a naive ETA — to stderr so
+it composes with CSV/table output on stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+from repro.errors import ConfigError
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Prints per-task completion and ETA for a fixed-size batch.
+
+    Parameters
+    ----------
+    total:
+        Number of tasks in the batch.
+    label:
+        Prefix identifying the batch (e.g. ``"sweep"``).
+    stream:
+        Output stream; defaults to ``sys.stderr``.
+    min_interval:
+        Minimum seconds between heartbeat lines (the final task always
+        reports), so thousand-task sweeps do not flood the terminal.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        label: str = "sweep",
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.0,
+    ):
+        if total < 1:
+            raise ConfigError(f"total must be >= 1, got {total!r}")
+        self.total = int(total)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self.done = 0
+        self._t0 = time.perf_counter()
+        self._last_line = float("-inf")
+
+    def elapsed(self) -> float:
+        """Wall seconds since the reporter was created."""
+        return time.perf_counter() - self._t0
+
+    def eta(self) -> float:
+        """Naive remaining-time estimate from the mean per-task rate."""
+        if self.done == 0:
+            return float("nan")
+        return self.elapsed() / self.done * (self.total - self.done)
+
+    def task_done(self, info: Any = None) -> None:
+        """Record one finished task and (rate-limited) print a heartbeat."""
+        self.done += 1
+        now = time.perf_counter()
+        final = self.done >= self.total
+        if not final and now - self._last_line < self.min_interval:
+            return
+        self._last_line = now
+        elapsed = now - self._t0
+        pct = 100.0 * self.done / self.total
+        line = (
+            f"[{self.label}] {self.done}/{self.total} ({pct:.0f}%)"
+            f" elapsed {elapsed:.1f}s"
+        )
+        if not final:
+            line += f" eta {self.eta():.1f}s"
+        if info is not None:
+            line += f" — {info}"
+        print(line, file=self.stream, flush=True)

@@ -1,0 +1,185 @@
+"""Durable and aggregating trace sinks.
+
+These compose with the substrate's emit sites (ports, switches,
+balancers, senders) through the :class:`~repro.sim.trace.Tracer`
+interface.  All hot paths guard on ``tracer.enabled``, so installing a
+:class:`~repro.sim.trace.NullTracer` still costs nothing; these sinks
+flip ``enabled`` and pay only for what they keep.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import IO, Any, Iterable, Optional
+
+from repro.errors import ConfigError
+from repro.sim.trace import Tracer
+
+__all__ = ["JsonlTracer", "CountingTracer", "TeeTracer", "trace_node"]
+
+
+def trace_node(fields: dict) -> str:
+    """The node attribution of one trace point.
+
+    Emit sites tag records with ``port=`` (data-plane trace points) or
+    ``node=`` (control-plane ones: reroutes, retransmits).  Records with
+    neither aggregate under ``""``.
+    """
+    node = fields.get("port")
+    if node is None:
+        node = fields.get("node")
+    return node if node is not None else ""
+
+
+class JsonlTracer(Tracer):
+    """Streams trace records to a JSON-Lines file with bounded buffering.
+
+    One JSON object per line: ``{"t": <time>, "kind": <kind>, ...fields}``.
+    Records are buffered in memory and written out every ``flush_every``
+    records, so long runs never hold the full trace and short runs do not
+    thrash the disk.  Call :meth:`close` (or use the tracer as a context
+    manager) to flush the tail.
+
+    Parameters
+    ----------
+    path:
+        Output file (truncated on open).
+    kinds:
+        If given, only these kinds are written; others are dropped at the
+        emit site.
+    flush_every:
+        Buffer size bound, in records.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        kinds: Optional[Iterable[str]] = None,
+        flush_every: int = 1024,
+    ):
+        if flush_every < 1:
+            raise ConfigError(f"flush_every must be >= 1, got {flush_every!r}")
+        self.path = Path(path)
+        self.kinds = set(kinds) if kinds is not None else None
+        self.flush_every = int(flush_every)
+        self.records_written = 0
+        self._buffer: list[str] = []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = self.path.open("w")
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self._fh is None:
+            raise ConfigError(f"JsonlTracer({self.path}) is closed")
+        record = {"t": time, "kind": kind}
+        record.update(fields)
+        self._buffer.append(json.dumps(record, default=str))
+        self.records_written += 1
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered records to disk."""
+        if self._fh is None:
+            return
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the file.  Idempotent."""
+        if self._fh is None:
+            return
+        self.flush()
+        self._fh.close()
+        self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class CountingTracer(Tracer):
+    """Aggregates per-(kind, node) event counts, keeping no records.
+
+    The cheap always-on companion to :class:`JsonlTracer`: each emit is a
+    dict lookup and an integer increment, so it can ride along under full
+    traffic to produce the counter totals a run manifest records.
+    """
+
+    enabled = True
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None):
+        self.kinds = set(kinds) if kinds is not None else None
+        #: (kind, node) -> count
+        self.counts: Counter[tuple[str, str]] = Counter()
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.counts[(kind, trace_node(fields))] += 1
+
+    # -- views -----------------------------------------------------------
+
+    def total(self) -> int:
+        """All counted trace points."""
+        return sum(self.counts.values())
+
+    def count(self, kind: str) -> int:
+        """Total count of one kind across all nodes."""
+        return sum(c for (k, _), c in self.counts.items() if k == kind)
+
+    def totals(self) -> dict[str, int]:
+        """Per-kind totals, sorted by kind."""
+        out: Counter[str] = Counter()
+        for (kind, _), c in self.counts.items():
+            out[kind] += c
+        return dict(sorted(out.items()))
+
+    def by_node(self, kind: str) -> dict[str, int]:
+        """One kind's counts per node, largest first."""
+        items = [(node, c) for (k, node), c in self.counts.items() if k == kind]
+        return dict(sorted(items, key=lambda kv: (-kv[1], kv[0])))
+
+    def clear(self) -> None:
+        """Reset all counters."""
+        self.counts.clear()
+
+
+class TeeTracer(Tracer):
+    """Fans each trace point out to several sinks.
+
+    ``enabled`` is True iff any child is enabled, so a tee of only
+    disabled tracers still costs the hot path nothing.  Closing the tee
+    closes every child.
+    """
+
+    def __init__(self, *tracers: Tracer):
+        self.tracers = tuple(tracers)
+        self.enabled = any(t.enabled for t in self.tracers)
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        for t in self.tracers:
+            if t.enabled:
+                t.emit(time, kind, **fields)
+
+    def flush(self) -> None:
+        for t in self.tracers:
+            t.flush()
+
+    def close(self) -> None:
+        for t in self.tracers:
+            t.close()

@@ -155,13 +155,16 @@ class Simulator:
             and advance the clock to ``until``.  ``None`` drains the heap.
         max_events:
             Safety valve: raise :class:`SimulationError` after this many
-            events (catches accidental event storms in tests).
+            events *in this call* (catches accidental event storms in
+            tests).  The budget is per ``run()`` invocation, not
+            cumulative over the simulator's lifetime.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
         heap = self._heap
+        executed = 0
         try:
             while heap:
                 ev = heap[0]
@@ -170,16 +173,17 @@ class Simulator:
                     continue
                 if until is not None and ev.time > until:
                     break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (possible event storm)"
+                    )
                 heapq.heappop(heap)
                 self._now = ev.time
                 ev.fn(*ev.args)
                 self._processed += 1
+                executed += 1
                 if self._stopped:
                     break
-                if max_events is not None and self._processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} (possible event storm)"
-                    )
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:

@@ -1,11 +1,20 @@
 """Lightweight tracing hooks.
 
-The network substrate emits trace points (enqueue, dequeue, drop, mark,
-deliver, reroute) through a :class:`Tracer`.  The default
-:class:`NullTracer` compiles to near-nothing; tests and the figure drivers
-install a :class:`RecordingTracer` to capture the event stream they need
-(e.g. per-packet queue lengths for Fig. 3a) without the hot path paying for
-generic logging.
+The network substrate emits trace points through a :class:`Tracer`.  The
+default :class:`NullTracer` compiles to near-nothing; tests and the
+figure drivers install a :class:`RecordingTracer` to capture the event
+stream they need (e.g. per-packet queue lengths for Fig. 3a) without the
+hot path paying for generic logging.  File-backed and counting sinks
+live in :mod:`repro.obs`.
+
+Kinds emitted by the substrate (each record carries a ``port=`` or
+``node=`` field attributing it to a network location):
+
+* ``enqueue`` / ``dequeue`` / ``drop`` — port FIFO events;
+* ``mark`` — ECN mark applied at enqueue (DCTCP's congestion signal);
+* ``reroute`` — a long flow moved paths (TLB's switching decision);
+* ``retransmit`` — a sender retransmitted a segment (loss or reordering
+  misread as loss).
 """
 
 from __future__ import annotations
@@ -34,6 +43,12 @@ class Tracer:
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record one trace point."""
         raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered records to their destination (no-op by default)."""
+
+    def close(self) -> None:
+        """Release held resources (no-op by default; idempotent)."""
 
 
 class NullTracer(Tracer):

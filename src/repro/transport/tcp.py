@@ -282,6 +282,13 @@ class TcpSender:
         if retransmission:
             self.stats.retransmits += 1
             self._retransmitted.add(seq)
+            # Trace via the NIC's sink (absent on test doubles).
+            nic = getattr(self.host, "nic", None)
+            if nic is not None and nic.tracer.enabled:
+                nic.tracer.emit(
+                    self.sim.now, "retransmit", node=self.host.name,
+                    flow=self.flow.id, seq=seq,
+                )
         else:
             self._send_times[seq] = self.sim.now
         self.host.send(pkt)

@@ -40,6 +40,52 @@ def test_sweep_command_tiny(capsys, tmp_path):
     assert "swept_scheme" in content and "ecmp" in content
 
 
+def test_run_command_trace_telemetry_and_manifest(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "t.jsonl"
+    json_path = tmp_path / "out" / "m.json"
+    assert main(["run", "--scheme", "tlb", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--trace", str(trace), "--telemetry",
+                 "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry:" in out
+    assert "trace records" in out
+    assert trace.exists() and json_path.exists()
+    manifest = json.loads((json_path.parent / "manifest.json").read_text())
+    assert manifest["scheme"] == "tlb"
+    assert manifest["export"] == "m.json"
+    assert sum(manifest["trace_counters"].values()) > 0
+
+
+def test_run_command_warns_on_poisson_only_flags(capsys):
+    assert main(["run", "--scheme", "ecmp", "--workload", "static",
+                 "--short-flows", "6", "--long-flows", "1", "--paths", "4",
+                 "--load", "0.7"]) == 0
+    err = capsys.readouterr().err
+    assert "warning: --load applies only to --workload poisson" in err
+
+
+def test_trace_summarize_command(capsys, tmp_path):
+    from repro.obs import JsonlTracer
+
+    path = tmp_path / "t.jsonl"
+    with JsonlTracer(path) as t:
+        t.emit(0.0, "enqueue", port="a")
+        t.emit(0.1, "drop", port="a")
+    assert main(["trace", "summarize", str(path), "--per-node"]) == 0
+    out = capsys.readouterr().out
+    assert "2 records" in out
+    assert "drop" in out and "enqueue" in out
+
+
+def test_sweep_progress_flag_parses():
+    args = build_parser().parse_args(
+        ["sweep", "--schemes", "ecmp", "--loads", "0.3", "--progress"])
+    assert args.progress is True
+
+
 def test_figure_choices_cover_all_paper_figures():
     expected = {f"fig{i}" for i in [3, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17]}
     assert set(FIGURES) == expected

@@ -134,6 +134,19 @@ def test_max_events_guard(sim):
         sim.run(max_events=100)
 
 
+def test_max_events_budget_is_per_run_call(sim):
+    # The guard must count events per run() invocation, not against the
+    # simulator's cumulative lifetime counter.
+    fired = []
+    for i in range(5):
+        sim.call_later(0.001 * (i + 1), fired.append, i)
+    sim.run(until=0.003, max_events=3)
+    assert fired == [0, 1, 2]
+    sim.run(max_events=3)  # 2 events left; must NOT trip on _processed >= 3
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.events_processed == 5
+
+
 def test_step_executes_single_event(sim):
     fired = []
     sim.call_later(0.1, fired.append, "a")

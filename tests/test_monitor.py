@@ -69,6 +69,17 @@ def test_empty_monitor_views(sim, sink):
     assert mon.matrix().shape == (0, 1)
     assert mon.imbalance().size == 0
     assert mon.max_occupancy() == {"test-port": 0}
+    assert mon.mean_occupancy() == {"test-port": 0.0}
+    assert mon.series_for("test-port").size == 0
+
+
+def test_stop_before_first_sample_is_idempotent(sim, sink):
+    mon = QueueMonitor(sim, [make_port(sim, sink)], period=0.1)
+    mon.stop()
+    mon.stop()  # idempotent even when nothing ever fired
+    sim.run(until=1.0)
+    assert mon.n_samples == 0
+    assert mon.matrix().shape == (0, 1)
 
 
 def test_validation(sim, sink):

@@ -1,0 +1,351 @@
+"""Tests for the observability layer (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.obs import (
+    CountingTracer,
+    JsonlTracer,
+    ProgressReporter,
+    RunTelemetry,
+    TeeTracer,
+    build_manifest,
+    format_trace_summary,
+    summarize_trace,
+    write_manifest,
+)
+from repro.obs.telemetry import peak_rss_bytes
+from repro.sim.engine import Simulator
+from repro.sim.trace import NullTracer, RecordingTracer
+
+
+# -- JsonlTracer ---------------------------------------------------------
+
+
+def test_jsonl_tracer_writes_one_object_per_line(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with JsonlTracer(path) as t:
+        t.emit(0.5, "enqueue", port="leaf0->spine1", flow=7, qlen=3)
+        t.emit(0.6, "drop", port="leaf0->spine1", flow=8)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {"t": 0.5, "kind": "enqueue", "port": "leaf0->spine1",
+                     "flow": 7, "qlen": 3}
+
+
+def test_jsonl_tracer_bounded_buffering(tmp_path):
+    path = tmp_path / "t.jsonl"
+    t = JsonlTracer(path, flush_every=10)
+    for i in range(9):
+        t.emit(float(i), "enqueue", port="p")
+    assert path.read_text() == ""  # still buffered
+    t.emit(9.0, "enqueue", port="p")
+    assert len(path.read_text().splitlines()) == 10  # hit the bound
+    t.close()
+
+
+def test_jsonl_tracer_kind_filter(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with JsonlTracer(path, kinds={"drop"}) as t:
+        t.emit(0.0, "enqueue", port="p")
+        t.emit(0.1, "drop", port="p")
+    assert t.records_written == 1
+    assert json.loads(path.read_text())["kind"] == "drop"
+
+
+def test_jsonl_tracer_close_is_idempotent_and_final(tmp_path):
+    t = JsonlTracer(tmp_path / "t.jsonl")
+    t.emit(0.0, "enqueue", port="p")
+    t.close()
+    t.close()  # idempotent
+    assert t.closed
+    with pytest.raises(ConfigError):
+        t.emit(1.0, "enqueue", port="p")
+
+
+def test_jsonl_tracer_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "dir" / "t.jsonl"
+    with JsonlTracer(path) as t:
+        t.emit(0.0, "enqueue", port="p")
+    assert path.exists()
+
+
+def test_jsonl_tracer_rejects_bad_flush_every(tmp_path):
+    with pytest.raises(ConfigError):
+        JsonlTracer(tmp_path / "t.jsonl", flush_every=0)
+
+
+# -- CountingTracer ------------------------------------------------------
+
+
+def test_counting_tracer_aggregates_per_kind_and_node():
+    t = CountingTracer()
+    t.emit(0.0, "enqueue", port="a")
+    t.emit(0.1, "enqueue", port="a")
+    t.emit(0.2, "enqueue", port="b")
+    t.emit(0.3, "drop", port="a")
+    t.emit(0.4, "reroute", node="leaf0")
+    t.emit(0.5, "tick")  # no node attribution
+    assert t.totals() == {"drop": 1, "enqueue": 3, "reroute": 1, "tick": 1}
+    assert t.count("enqueue") == 3
+    assert t.total() == 6
+    assert t.by_node("enqueue") == {"a": 2, "b": 1}
+    assert t.by_node("tick") == {"": 1}
+    t.clear()
+    assert t.total() == 0
+
+
+def test_counting_tracer_kind_filter():
+    t = CountingTracer(kinds={"drop"})
+    t.emit(0.0, "enqueue", port="a")
+    t.emit(0.1, "drop", port="a")
+    assert t.totals() == {"drop": 1}
+
+
+# -- TeeTracer -----------------------------------------------------------
+
+
+def test_tee_tracer_fans_out_and_reports_enabled():
+    rec, cnt = RecordingTracer(), CountingTracer()
+    tee = TeeTracer(rec, cnt)
+    assert tee.enabled
+    tee.emit(1.0, "drop", port="p")
+    assert rec.count("drop") == 1
+    assert cnt.count("drop") == 1
+
+
+def test_tee_of_disabled_tracers_is_disabled():
+    assert not TeeTracer(NullTracer(), NullTracer()).enabled
+    assert not TeeTracer().enabled
+
+
+def test_tee_close_propagates(tmp_path):
+    jsonl = JsonlTracer(tmp_path / "t.jsonl")
+    tee = TeeTracer(jsonl, CountingTracer())
+    tee.emit(0.0, "enqueue", port="p")
+    tee.close()
+    assert jsonl.closed
+    assert (tmp_path / "t.jsonl").read_text().strip() != ""
+
+
+# -- RunTelemetry --------------------------------------------------------
+
+
+def _busy_sim(n=500):
+    sim = Simulator()
+
+    def tick(k):
+        if k > 0:
+            sim.call_later(1e-4, tick, k - 1)
+
+    sim.call_later(0.0, tick, n)
+    return sim
+
+
+def test_run_telemetry_measures_a_run():
+    sim = _busy_sim()
+    telem = RunTelemetry(sim)
+    with telem:
+        sim.run()
+    assert telem.events == 501
+    assert telem.wall_time > 0
+    assert telem.events_per_sec > 0
+    assert telem.sim_time == pytest.approx(0.05, rel=1e-6)
+    extras = telem.as_extras()
+    for key in ("wall_time_s", "events_per_sec", "sim_wall_ratio",
+                "peak_rss_bytes"):
+        assert key in extras
+    assert "wall=" in telem.summary_line()
+
+
+def test_run_telemetry_accumulates_across_intervals():
+    sim = _busy_sim(100)
+    telem = RunTelemetry(sim)
+    telem.start()
+    sim.run(until=0.005)
+    telem.stop()
+    first = telem.events
+    telem.start()
+    sim.run()
+    telem.stop()
+    assert telem.events == 101
+    assert telem.events > first
+
+
+def test_run_telemetry_misuse_raises():
+    telem = RunTelemetry(Simulator())
+    with pytest.raises(SimulationError):
+        telem.stop()
+    telem.start()
+    with pytest.raises(SimulationError):
+        telem.start()
+
+
+def test_run_telemetry_track_heap():
+    sim = _busy_sim(50)
+    with RunTelemetry(sim, track_heap=True) as telem:
+        sim.run()
+    assert telem.peak_heap_bytes is not None
+    assert telem.peak_heap_bytes > 0
+    assert "peak_heap_bytes" in telem.as_extras()
+
+
+def test_peak_rss_is_positive_when_available():
+    rss = peak_rss_bytes()
+    assert rss is None or rss > 1_000_000
+
+
+# -- manifests -----------------------------------------------------------
+
+
+def test_build_manifest_records_provenance_and_config():
+    from repro.experiments.common import ScenarioConfig
+
+    config = ScenarioConfig(scheme="ecmp", seed=42)
+    counters = CountingTracer()
+    counters.emit(0.0, "enqueue", port="p")
+    manifest = build_manifest(config, counters=counters,
+                              extra={"note": "unit test"})
+    assert manifest["package"] == "repro"
+    assert manifest["version"]
+    assert manifest["seed"] == 42
+    assert manifest["scheme"] == "ecmp"
+    assert manifest["config"]["n_paths"] == 15
+    assert manifest["trace_counters"] == {"enqueue": 1}
+    assert manifest["note"] == "unit test"
+    json.dumps(manifest)  # fully serialisable
+
+
+def test_write_manifest_beside_export(tmp_path):
+    export = tmp_path / "runs.csv"
+    export.write_text("a,b\n")
+    path = write_manifest(export, {"schema": 1})
+    assert path == tmp_path / "manifest.json"
+    payload = json.loads(path.read_text())
+    assert payload["export"] == "runs.csv"
+
+
+def test_write_manifest_into_directory(tmp_path):
+    path = write_manifest(tmp_path, {"schema": 1})
+    assert path == tmp_path / "manifest.json"
+    assert "export" not in json.loads(path.read_text())
+
+
+# -- trace summarize -----------------------------------------------------
+
+
+def test_summarize_round_trips_jsonl_counts(tmp_path):
+    path = tmp_path / "t.jsonl"
+    counters = CountingTracer()
+    tee = TeeTracer(JsonlTracer(path), counters)
+    tee.emit(0.1, "enqueue", port="a", flow=1)
+    tee.emit(0.2, "enqueue", port="b", flow=1)
+    tee.emit(0.3, "drop", port="a", flow=2)
+    tee.emit(0.4, "reroute", node="leaf0", flow=3)
+    tee.close()
+    summary = summarize_trace(path)
+    assert summary.n_records == 4
+    assert summary.by_kind == counters.totals()
+    assert summary.nodes_for("enqueue") == counters.by_node("enqueue")
+    assert summary.t_min == pytest.approx(0.1)
+    assert summary.t_max == pytest.approx(0.4)
+
+
+def test_summarize_missing_and_malformed(tmp_path):
+    with pytest.raises(ConfigError):
+        summarize_trace(tmp_path / "absent.jsonl")
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"t": 0.0, "kind": "x"}\nnot json\n')
+    with pytest.raises(ConfigError, match="bad.jsonl:2"):
+        summarize_trace(bad)
+
+
+def test_format_trace_summary_tables(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with JsonlTracer(path) as t:
+        for i in range(3):
+            t.emit(float(i), "enqueue", port=f"p{i}")
+        t.emit(3.0, "drop", port="p0")
+    text = format_trace_summary(summarize_trace(path), per_node=True, top=2)
+    assert "4 records" in text
+    assert "enqueue" in text and "drop" in text
+    assert "p0" in text
+    assert "1 more" in text  # top=2 elides the third enqueue node
+
+
+# -- progress ------------------------------------------------------------
+
+
+def test_progress_reporter_heartbeat_and_eta():
+    out = io.StringIO()
+    rep = ProgressReporter(4, label="unit", stream=out)
+    rep.task_done()
+    rep.task_done(info="scheme=tlb")
+    lines = out.getvalue().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("[unit] 1/4 (25%)")
+    assert "eta" in lines[0]
+    assert lines[1].endswith("scheme=tlb")
+    assert rep.eta() >= 0.0
+
+
+def test_progress_reporter_rate_limit_keeps_final_line():
+    out = io.StringIO()
+    rep = ProgressReporter(3, stream=out, min_interval=3600.0)
+    rep.task_done()  # first line prints (elapsed >> -inf)
+    rep.task_done()  # suppressed
+    rep.task_done()  # final: always prints
+    lines = out.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "3/3 (100%)" in lines[-1]
+    assert "eta" not in lines[-1]
+
+
+def test_progress_reporter_rejects_empty_batch():
+    with pytest.raises(ConfigError):
+        ProgressReporter(0)
+
+
+def test_run_many_drives_reporter_serially():
+    from repro.experiments.runner import run_many
+
+    out = io.StringIO()
+    rep = ProgressReporter(3, stream=out)
+    results = run_many([1, 2, 3], processes=0, runner=lambda c: c * 10,
+                       progress=rep)
+    assert results == [10, 20, 30]
+    assert rep.done == 3
+    assert "3/3" in out.getvalue()
+
+
+# -- end-to-end through the scenario harness -----------------------------
+
+
+def test_scenario_trace_and_telemetry_end_to_end(tmp_path):
+    """The acceptance path: run → JSONL + counters → summarize agreement."""
+    from repro.experiments.common import ScenarioConfig, run_scenario
+
+    trace_path = tmp_path / "run.jsonl"
+    counters = CountingTracer()
+    tracer = TeeTracer(JsonlTracer(trace_path), counters)
+    config = ScenarioConfig(
+        scheme="tlb", seed=3, n_paths=4, n_short=4, n_long=1,
+        hosts_per_leaf=5, short_window=0.005, distinct_hosts=True,
+        horizon=0.5, telemetry=True)
+    result = run_scenario(config, tracer=tracer)
+    tracer.close()
+
+    extras = result.metrics.extras
+    assert extras["wall_time_s"] > 0
+    assert extras["events_per_sec"] > 0
+    assert extras["events"] > 0
+    assert "telemetry:" in result.metrics.summary()
+
+    summary = summarize_trace(trace_path)
+    assert summary.n_records == counters.total() > 0
+    assert summary.by_kind == counters.totals()
+    assert "enqueue" in summary.by_kind

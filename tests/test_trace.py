@@ -1,6 +1,6 @@
-"""Tests for trace sinks."""
+"""Tests for trace sinks and the substrate's emit sites."""
 
-from repro.sim.trace import NullTracer, RecordingTracer
+from repro.sim.trace import NullTracer, RecordingTracer, Tracer
 
 
 def test_null_tracer_discards():
@@ -37,3 +37,73 @@ def test_clear():
     t.emit(0.0, "x")
     t.clear()
     assert t.count("x") == 0
+    t.emit(0.1, "x")  # usable again after clear
+    assert t.count("x") == 1
+
+
+def test_kind_filtered_tracer_clears_everything():
+    t = RecordingTracer(kinds={"drop", "mark"})
+    t.emit(0.0, "drop", port="a")
+    t.emit(0.1, "mark", port="a")
+    t.clear()
+    assert t.count("drop") == 0 and t.count("mark") == 0
+
+
+def test_base_lifecycle_hooks_are_noops():
+    # flush/close must be safe on any tracer, enabled or not (the
+    # scenario harness calls them unconditionally).
+    for t in (NullTracer(), RecordingTracer()):
+        t.flush()
+        t.close()
+        t.close()
+
+
+def test_port_emits_mark_trace(sim, sink):
+    from tests.conftest import make_packet, make_port
+
+    tracer = RecordingTracer()
+    port = make_port(sim, sink, ecn_threshold=1, tracer=tracer,
+                     buffer_packets=8, rate=1e6)
+    for seq in range(4):
+        port.enqueue(make_packet(seq=seq, ecn_capable=True))
+    marks = tracer.of_kind("mark")
+    # seq 0 transmits immediately; seq 2 and 3 arrive with >= 1 queued.
+    assert len(marks) == port.stats.ecn_marked == 2
+    assert marks[0].fields["port"] == "test-port"
+    assert marks[0].fields["qlen"] >= 1
+
+
+def test_tlb_emits_reroute_trace():
+    from tests.test_tlb import data, make_tlb, send_bytes
+
+    sim, lb, ports = make_tlb(qth=5, long_threshold_bytes=10_000)
+    tracer = RecordingTracer()
+    lb.switch.tracer = tracer
+    send_bytes(lb, ports, flow_id=1, nbytes=20_000)  # classify as long
+    assert lb.table.observe(data().lb_key(), 0, 0.0).is_long
+    # Its current port exceeds qth -> the next packet reroutes.
+    idx = lb.table.observe(data().lb_key(), 0, 0.0).port_idx
+    ports[idx].queue_length = 6
+    lb.select_port(data(seq=99), ports)
+    reroutes = tracer.of_kind("reroute")
+    assert len(reroutes) == lb.long_reroutes == 1
+    assert reroutes[0].fields["node"] == lb.switch.name
+    assert reroutes[0].fields["from_port"] == idx
+    assert reroutes[0].fields["qth"] == 5
+
+
+def test_sender_emits_retransmit_trace():
+    from repro.lb import attach_scheme
+    from repro.net.topology import build_two_leaf_fabric
+    from tests.conftest import run_one_flow
+
+    tracer = RecordingTracer(kinds={"retransmit", "drop"})
+    net = build_two_leaf_fabric(n_paths=2, hosts_per_leaf=2,
+                                buffer_packets=4, tracer=tracer)
+    attach_scheme(net, "rps")  # per-packet spray stresses the tiny buffers
+    stats, _, _ = run_one_flow(net, size=400_000, dst="h2")
+    # A tiny 4-packet buffer forces drops, hence retransmissions.
+    assert stats.retransmits > 0
+    retx = tracer.of_kind("retransmit")
+    assert len(retx) == stats.retransmits
+    assert retx[0].fields["node"] == "h0"
