@@ -41,6 +41,8 @@ FIGURES = {
     "fig15": ("repro.experiments.overhead", "main", ()),
     "fig16": ("repro.experiments.asymmetry", "main", ("delay",)),
     "fig17": ("repro.experiments.asymmetry", "main", ("bandwidth",)),
+    # beyond the paper: §7 asymmetry under dynamic mid-run failure
+    "faults": ("repro.experiments.faults", "main", ()),
 }
 
 
@@ -76,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stream a JSONL trace of the run to FILE")
     run.add_argument("--telemetry", action="store_true",
                      help="profile the run (wall time, events/sec, peak RSS)")
+    run.add_argument("--faults", metavar="SPEC", default="",
+                     help="dynamic fault schedule, e.g."
+                     " '0.1:link_down:leaf0-spine1;0.3:link_up:leaf0-spine1'")
+    run.add_argument("--fault-detection-delay", type=float, default=0.0,
+                     metavar="S", help="seconds before balancers learn of a"
+                     " link transition (default 0: oracle control plane)")
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("name", choices=sorted(FIGURES))
@@ -91,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--processes", type=int, default=None)
     sw.add_argument("--progress", action="store_true",
                     help="print per-task completion and ETA to stderr")
+    sw.add_argument("--faults", metavar="SPEC", default="",
+                    help="inject this fault schedule into every run")
+    sw.add_argument("--retries", type=int, default=1,
+                    help="retry budget per crashed/wedged run (default 1)")
 
     trace = sub.add_parser("trace", help="trace-file utilities")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -142,7 +154,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n_short=args.short_flows, n_long=args.long_flows,
             hosts_per_leaf=args.short_flows + args.long_flows,
             short_window=0.02, distinct_hosts=True,
-            telemetry=args.telemetry)
+            telemetry=args.telemetry, faults=args.faults,
+            fault_detection_delay=args.fault_detection_delay)
     else:
         filled = {name: default if getattr(args, name) is None
                   else getattr(args, name)
@@ -152,7 +165,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             sizes=filled["sizes"], load=filled["load"],
             n_flows=filled["flows"],
             n_paths=4, hosts_per_leaf=16, truncate_tail=3_000_000,
-            horizon=5.0, telemetry=args.telemetry)
+            horizon=5.0, telemetry=args.telemetry, faults=args.faults,
+            fault_detection_delay=args.fault_detection_delay)
 
     tracer = counters = None
     if args.trace:
@@ -185,29 +199,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.largescale import (
         default_config, sweep_row, tabulate)
-    from repro.experiments.runner import run_many
+    from repro.experiments.runner import TaskFailure, run_many
     from repro.metrics.export import write_metrics_csv
 
     config = default_config(args.sizes, n_flows=args.flows, seed=args.seed)
+    if args.faults:
+        config = config.with_(faults=args.faults)
     grid = [(s, l) for s in args.schemes for l in args.loads]
     configs = [config.with_(scheme=s, load=l) for s, l in grid]
-    metrics = run_many(configs, processes=args.processes,
-                       progress=args.progress, label="sweep")
-    rows = [sweep_row(s, l, m) for (s, l), m in zip(grid, metrics)]
+    results = run_many(configs, processes=args.processes,
+                       progress=args.progress, label="sweep",
+                       on_error="record", retries=args.retries)
+    ok = [((s, l), m) for (s, l), m in zip(grid, results)
+          if not isinstance(m, TaskFailure)]
+    failed = [((s, l), m) for (s, l), m in zip(grid, results)
+              if isinstance(m, TaskFailure)]
+    rows = [sweep_row(s, l, m) for (s, l), m in ok]
     print(tabulate(rows, args.sizes))
-    if args.csv:
+    for (s, l), f in failed:
+        print(f"FAILED scheme={s} load={l:g} after {f.attempts} attempt(s):"
+              f" {f.error}", file=sys.stderr)
+    if args.csv and ok:
         from repro.obs import build_manifest
 
         manifest = build_manifest(
             config, counters=None,
             extra={"sweep": {"schemes": list(args.schemes),
-                             "loads": list(args.loads)}})
+                             "loads": list(args.loads),
+                             "failed": [{"scheme": s, "load": l,
+                                         "error": f.error}
+                                        for (s, l), f in failed]}})
         path = write_metrics_csv(
-            args.csv, metrics,
-            extra_columns=[{"load": l, "swept_scheme": s} for s, l in grid],
+            args.csv, [m for _, m in ok],
+            extra_columns=[{"load": l, "swept_scheme": s} for (s, l), _ in ok],
             manifest=manifest)
         print("wrote", path)
-    return 0
+    return 1 if failed and not ok else 0
 
 
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:

@@ -42,3 +42,7 @@ class ModelError(ReproError, ValueError):
 
 class SchemeError(ConfigError):
     """An unknown or misconfigured load-balancing scheme was requested."""
+
+
+class FaultError(ConfigError):
+    """A fault schedule was malformed or targets unknown fabric elements."""

@@ -11,6 +11,8 @@ module                   reproduces
 ``testbed``              Figs. 13–14 (§7 testbed-scale flow-count sweeps)
 ``overhead``             Fig. 15 (§7 switch CPU/memory accounting)
 ``asymmetry``            Figs. 16–17 (§7 delay/bandwidth asymmetry)
+``faults``               beyond the paper: §7 asymmetry under *dynamic*
+                         mid-run link failure/recovery (``repro.faults``)
 =======================  ===================================================
 
 Everything is built on :func:`~repro.experiments.common.run_scenario`,
@@ -25,7 +27,12 @@ from repro.experiments.common import (
     run_scenario,
     run_scenario_metrics,
 )
-from repro.experiments.runner import run_many, sweep
+from repro.experiments.runner import (
+    TaskFailure,
+    partition_results,
+    run_many,
+    sweep,
+)
 from repro.experiments.report import format_table
 from repro.experiments.stats import MetricCI, paired_comparison, replicate
 
@@ -36,6 +43,8 @@ __all__ = [
     "run_scenario_metrics",
     "run_many",
     "sweep",
+    "TaskFailure",
+    "partition_results",
     "format_table",
     "MetricCI",
     "replicate",

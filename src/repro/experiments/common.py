@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultSchedule
 from repro.lb.registry import attach_scheme
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.net.asymmetry import LinkOverride, apply_asymmetry
@@ -72,6 +73,13 @@ class ScenarioConfig:
     ecn_threshold: Optional[int] = 20
     #: (leaf, spine, rate_factor, extra_delay) tuples for asymmetry
     link_overrides: tuple = ()
+    #: dynamic fault schedule in :mod:`repro.faults` spec form, e.g.
+    #: ``"0.1:link_down:leaf0-spine1;0.3:link_up:leaf0-spine1"``;
+    #: empty string disables injection
+    faults: str = ""
+    #: delay between a fault hitting the data plane and balancers being
+    #: notified (the PathStateObserver hook); 0 = oracle control plane
+    fault_detection_delay: float = 0.0
 
     # workload ------------------------------------------------------------
     workload: str = "static"  # "static" | "poisson"
@@ -122,6 +130,12 @@ class ScenarioConfig:
             raise ConfigError(f"unknown size distribution {self.sizes!r}")
         if self.horizon <= 0 or self.slice_width <= 0:
             raise ConfigError("horizon and slice_width must be positive")
+        if self.fault_detection_delay < 0:
+            raise ConfigError("fault_detection_delay must be >= 0")
+        if self.faults:
+            # Parse eagerly so a malformed spec fails at config time, not
+            # inside a worker process half-way through a sweep.
+            FaultSchedule.from_spec(self.faults)
 
     def with_(self, **changes) -> "ScenarioConfig":
         """A modified copy (sweep convenience)."""
@@ -179,6 +193,8 @@ class ScenarioResult:
     workload: WorkloadResult
     balancers: dict
     tracer: Any
+    #: the armed :class:`~repro.faults.FaultInjector`, or None
+    injector: Any = None
 
     @property
     def completed_all(self) -> bool:
@@ -250,6 +266,14 @@ def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
     )
     workload = _install_workload(config, net, registry)
     balancers = attach_scheme(net, config.scheme, **config.scheme_params)
+    injector = None
+    if config.faults:
+        # Armed after the balancers so PathStateObserver notifications
+        # find them attached.
+        injector = FaultInjector(
+            net, FaultSchedule.from_spec(config.faults),
+            detection_delay=config.fault_detection_delay,
+        ).arm()
 
     sim = net.sim
     telemetry = None
@@ -274,6 +298,10 @@ def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
     metrics.extras["events"] = sim.events_processed
     metrics.extras["long_reroutes"] = sum(
         getattr(lb, "long_reroutes", 0) for lb in balancers.values())
+    if injector is not None:
+        metrics.extras["faults_applied"] = injector.summary()
+        metrics.extras["path_events"] = sum(
+            lb.path_events for lb in balancers.values())
     if telemetry is not None:
         metrics.extras.update(telemetry.as_extras())
     tracer.flush()
@@ -286,6 +314,7 @@ def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
         workload=workload,
         balancers=balancers,
         tracer=tracer,
+        injector=injector,
     )
 
 

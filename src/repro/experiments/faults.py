@@ -1,0 +1,174 @@
+"""Dynamic-failure experiments: the paper's §7 asymmetry, made mid-run.
+
+Figs. 16–17 degrade two leaf–spine links *before* traffic starts.  This
+driver asks the harder production question: what happens when a link
+fails **while traffic is flowing** and comes back later?  Reordering-
+prone schemes (RPS, Presto) and static hashing (ECMP) keep feeding the
+dead path until the control plane notices; congestion-aware schemes
+(CONGA, TLB, Hermes) steer around it and re-admit it on recovery.
+
+The default scenario fails one seed-chosen sender-side leaf–spine link
+at t = 0.1 s and recovers it at t = 0.3 s (the ISSUE-2 demo), comparing
+all schemes on identical workloads (paired seeds).  The sweep runs with
+crash isolation (``on_error="record"`` + one retry), so a crashed or
+wedged worker yields a reported failure row, never a dead sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.asymmetry import degraded_pair
+from repro.experiments.common import ScenarioConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import TaskFailure, run_many
+
+__all__ = [
+    "FaultRow",
+    "DEFAULT_SCHEMES",
+    "fault_demo_config",
+    "default_fault_spec",
+    "run_fault_comparison",
+    "tabulate",
+    "main",
+]
+
+DEFAULT_SCHEMES = ("ecmp", "rps", "presto", "letflow", "conga", "hermes", "tlb")
+
+
+def fault_demo_config(**overrides) -> ScenarioConfig:
+    """A fast two-leaf scenario sized so a 0.1–0.3 s outage bites.
+
+    Microbenchmark fabric (1 Gbps, 100 µs RTT) with the short-flow burst
+    stretched across the outage window and long flows pinned throughout.
+    """
+    base = dict(
+        n_paths=6,
+        hosts_per_leaf=8,
+        n_short=60,
+        n_long=3,
+        short_window=0.4,
+        horizon=2.0,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def default_fault_spec(
+    config: ScenarioConfig,
+    *,
+    down_at: float = 0.1,
+    up_at: float = 0.3,
+    mode: str = "drop",
+) -> str:
+    """Fail-and-recover one seed-chosen sender-side leaf–spine link.
+
+    Reuses :func:`~repro.experiments.asymmetry.degraded_pair` so the
+    *same* link fails for every scheme at a given seed — the paired
+    comparison the paper's methodology requires — and the dynamic run
+    degrades exactly the link the static Figs. 16–17 runs would have.
+    """
+    leaf, spine = degraded_pair(config, count=1)[0]
+    down = f"{down_at:g}:link_down:{leaf}-{spine}"
+    if mode != "drop":
+        down += f":{mode}"
+    return f"{down};{up_at:g}:link_up:{leaf}-{spine}"
+
+
+@dataclass(frozen=True)
+class FaultRow:
+    """One scheme's fate under the dynamic-failure scenario."""
+
+    scheme: str
+    completed_all: bool
+    stuck_flows: int
+    short_afct: float
+    long_goodput_bps: float
+    deadline_miss: float
+    link_downs: int
+    link_ups: int
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        """Whether this row records a crashed run, not metrics."""
+        return bool(self.error)
+
+
+def run_fault_comparison(
+    spec: Optional[str] = None,
+    *,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    config: Optional[ScenarioConfig] = None,
+    processes: Optional[int] = None,
+    retries: int = 1,
+) -> list[FaultRow]:
+    """Run every scheme through the same fault schedule.
+
+    Crashed runs become rows with ``error`` set (``on_error="record"``)
+    rather than killing the comparison.
+    """
+    base = config if config is not None else fault_demo_config()
+    if spec is None:
+        spec = default_fault_spec(base)
+    configs = [base.with_(scheme=s, faults=spec) for s in schemes]
+    results = run_many(configs, processes=processes,
+                       on_error="record", retries=retries, label="faults")
+    rows = []
+    for s, m in zip(schemes, results):
+        if isinstance(m, TaskFailure):
+            rows.append(FaultRow(
+                scheme=s, completed_all=False, stuck_flows=-1,
+                short_afct=float("nan"), long_goodput_bps=float("nan"),
+                deadline_miss=float("nan"), link_downs=0, link_ups=0,
+                error=m.error,
+            ))
+            continue
+        applied = m.extras.get("faults_applied", {})
+        rows.append(FaultRow(
+            scheme=s,
+            completed_all=bool(m.extras.get("completed_all", False)),
+            stuck_flows=m.all_fct.n_flows - m.all_fct.n_completed,
+            short_afct=m.short_fct.mean,
+            long_goodput_bps=m.long_goodput_bps,
+            deadline_miss=m.deadline_miss,
+            link_downs=int(applied.get("link_down", 0)),
+            link_ups=int(applied.get("link_up", 0)),
+        ))
+    return rows
+
+
+def tabulate(rows: Sequence[FaultRow], spec: str) -> str:
+    """Render the comparison (plus any failed rows) as a text table."""
+    ok = [r for r in rows if not r.failed]
+    table = format_table(
+        ["scheme", "done", "stuck", "afct_ms", "long_mbps", "miss_%",
+         "downs", "ups"],
+        [[r.scheme, int(r.completed_all), r.stuck_flows,
+          r.short_afct * 1e3, r.long_goodput_bps / 1e6,
+          r.deadline_miss * 100, r.link_downs, r.link_ups]
+         for r in ok],
+        title=f"Dynamic link failure — faults: {spec}",
+    )
+    failed = [r for r in rows if r.failed]
+    if failed:
+        lines = [f"  {r.scheme}: {r.error}" for r in failed]
+        table += "\n\nfailed runs (reported, not fatal):\n" + "\n".join(lines)
+    return table
+
+
+def main(spec: Optional[str] = None,
+         config: Optional[ScenarioConfig] = None) -> str:
+    """Run the dynamic-failure comparison and render it."""
+    base = config if config is not None else fault_demo_config()
+    if spec is None:
+        spec = default_fault_spec(base)
+    rows = run_fault_comparison(spec, config=base)
+    return tabulate(rows, spec)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    print(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -1,4 +1,4 @@
-"""Parallel parameter sweeps.
+"""Parallel parameter sweeps, hardened against worker failure.
 
 Figure reproductions are sweeps of independent simulations (scheme ×
 load × seed ...), i.e. embarrassingly parallel.  Per the HPC guides,
@@ -9,19 +9,120 @@ only the small picklable :class:`~repro.metrics.collector.RunMetrics`.
 ``processes=0`` forces serial in-process execution — useful under pytest
 and on machines where fork is restricted; the default uses up to
 ``os.cpu_count()`` workers but never more than the number of tasks.
+
+Resilience
+----------
+A multi-hour sweep must never die because one scenario crashed.  Three
+layers of protection:
+
+* **Crash isolation** (``on_error="record"``): a task that keeps raising
+  after its retry budget yields a :class:`TaskFailure` row in its result
+  slot instead of aborting the sweep; every finished task's result is
+  preserved.  The default ``on_error="raise"`` re-raises the first
+  failure (after its retries) for callers that prefer fail-fast.
+* **Bounded retries** (``retries=N``): each task is attempted up to
+  ``1 + N`` times before it is declared failed — transient failures
+  (OOM-killed worker, flaky filesystem) don't waste the whole row.
+* **Pool fallback**: if worker processes cannot be created at all (no
+  ``fork`` on the platform, sandboxed environments) or the pool breaks
+  mid-flight (a worker was killed), remaining tasks transparently run
+  serially in-process rather than failing.
+
+``timeout=T`` additionally bounds each parallel task's *running* wall
+time; a task still running ``T`` seconds after its worker picked it up
+is recorded as a timeout failure (its worker process cannot be
+reclaimed, so prefer generous timeouts).  Serial execution cannot be
+preempted and ignores ``timeout``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+import traceback as _traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from repro.errors import ConfigError
 from repro.experiments.common import ScenarioConfig, run_scenario_metrics
 from repro.metrics.collector import RunMetrics
 from repro.obs.progress import ProgressReporter
 
-__all__ = ["run_many", "sweep"]
+__all__ = ["TaskFailure", "run_many", "sweep", "partition_results"]
+
+#: how often the pool loop wakes to check timeouts / task starts (seconds)
+_POLL_INTERVAL = 0.05
+
+
+@dataclass
+class TaskFailure:
+    """One task that exhausted its attempts, recorded in the sweep output.
+
+    Stored in the failed task's result slot when ``on_error="record"``,
+    so the caller can report the row (scheme, load, seed, ...) alongside
+    what went wrong instead of losing the whole sweep.
+    """
+
+    index: int
+    config: object
+    error: str
+    traceback: str = ""
+    attempts: int = 1
+    timed_out: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        cause = "timed out" if self.timed_out else self.error
+        return f"task {self.index} failed after {self.attempts} attempt(s): {cause}"
+
+
+def partition_results(
+    results: Sequence[Union[RunMetrics, TaskFailure]],
+) -> tuple[list[RunMetrics], list[TaskFailure]]:
+    """Split a ``run_many(on_error="record")`` result list.
+
+    Returns ``(successes, failures)``; successes keep their relative
+    order, and each failure still knows its original ``index``.
+    """
+    ok: list[RunMetrics] = []
+    bad: list[TaskFailure] = []
+    for r in results:
+        (bad if isinstance(r, TaskFailure) else ok).append(r)
+    return ok, bad
+
+
+def _failure(index: int, config: object, exc: BaseException,
+             attempts: int, *, timed_out: bool = False) -> TaskFailure:
+    return TaskFailure(
+        index=index,
+        config=config,
+        error=f"{type(exc).__name__}: {exc}",
+        traceback="".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)),
+        attempts=attempts,
+        timed_out=timed_out,
+    )
+
+
+def _run_serial_task(
+    runner: Callable,
+    config: object,
+    index: int,
+    retries: int,
+    on_error: str,
+) -> Union[RunMetrics, TaskFailure]:
+    """One task in-process, with the retry budget applied."""
+    for attempt in range(1, retries + 2):
+        try:
+            return runner(config)
+        except Exception as exc:
+            if attempt <= retries:
+                continue
+            if on_error == "raise":
+                raise
+            return _failure(index, config, exc, attempt)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def run_many(
@@ -31,7 +132,10 @@ def run_many(
     runner: Callable[[ScenarioConfig], RunMetrics] = run_scenario_metrics,
     progress: Union[bool, ProgressReporter] = False,
     label: str = "run_many",
-) -> list[RunMetrics]:
+    on_error: str = "raise",
+    retries: int = 0,
+    timeout: Optional[float] = None,
+) -> list:
     """Run scenarios, preserving input order.
 
     Parameters
@@ -45,7 +149,23 @@ def run_many(
         :class:`~repro.obs.ProgressReporter` to control the destination.
     label:
         Heartbeat prefix when ``progress`` is ``True``.
+    on_error:
+        ``"raise"`` (default): re-raise a task's error once its retries
+        are exhausted.  ``"record"``: put a :class:`TaskFailure` in the
+        failed task's result slot and keep going — no crash ever aborts
+        the sweep (see :func:`partition_results`).
+    retries:
+        Extra attempts per task before it counts as failed (default 0).
+    timeout:
+        Per-task running-time bound in seconds (parallel mode only; see
+        the module docstring for semantics and caveats).
     """
+    if on_error not in ("raise", "record"):
+        raise ConfigError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries!r}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigError(f"timeout must be positive, got {timeout!r}")
     configs = list(configs)
     if not configs:
         return []
@@ -58,22 +178,122 @@ def run_many(
         processes = min(os.cpu_count() or 1, len(configs))
     if processes <= 1 or len(configs) == 1:
         results = []
-        for c in configs:
-            results.append(runner(c))
+        for i, c in enumerate(configs):
+            results.append(_run_serial_task(runner, c, i, retries, on_error))
             if reporter is not None:
                 reporter.task_done()
         return results
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        if reporter is None:
-            return list(pool.map(runner, configs))
-        # submit/as_completed so the heartbeat fires as tasks finish,
-        # not in input order; results still come back in input order.
-        futures = {pool.submit(runner, c): i for i, c in enumerate(configs)}
-        results = [None] * len(configs)  # type: ignore[list-item]
-        for fut in as_completed(futures):
-            results[futures[fut]] = fut.result()
-            reporter.task_done()
+    return _run_pool(
+        configs, processes, runner, reporter,
+        on_error=on_error, retries=retries, timeout=timeout,
+    )
+
+
+def _run_pool(
+    configs: list,
+    processes: int,
+    runner: Callable,
+    reporter: Optional[ProgressReporter],
+    *,
+    on_error: str,
+    retries: int,
+    timeout: Optional[float],
+) -> list:
+    """The parallel path: retries, timeouts, and pool-failure fallback."""
+    try:
+        pool = ProcessPoolExecutor(max_workers=processes)
+    except (OSError, ImportError, NotImplementedError):
+        # No worker processes on this platform/sandbox: degrade to serial.
+        return [
+            _done(reporter, _run_serial_task(runner, c, i, retries, on_error))
+            for i, c in enumerate(configs)
+        ]
+    results: list = [None] * len(configs)
+    attempts = [1] * len(configs)
+    started: dict[Future, Optional[float]] = {}
+    pending: dict[Future, int] = {}
+    any_timeout = False
+
+    def submit(idx: int) -> None:
+        fut = pool.submit(runner, configs[idx])
+        pending[fut] = idx
+        started[fut] = None
+
+    def serial_remainder(indices: Iterable[int]) -> None:
+        for idx in sorted(indices):
+            results[idx] = _done(
+                reporter,
+                _run_serial_task(runner, configs[idx], idx, retries, on_error))
+
+    try:
+        for i in range(len(configs)):
+            submit(i)
+        while pending:
+            # Without a timeout to police there is nothing to poll for;
+            # block until something completes.
+            poll = _POLL_INTERVAL if timeout is not None else None
+            done, _ = wait(set(pending), timeout=poll,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for fut in done:
+                idx = pending.pop(fut)
+                started.pop(fut, None)
+                try:
+                    results[idx] = fut.result()
+                except BrokenProcessPool:
+                    # The pool is dead (a worker was killed); rescue every
+                    # unfinished task — this one included — serially.
+                    rest = [idx] + sorted(pending.values())
+                    pending.clear()
+                    serial_remainder(rest)
+                    return results
+                except Exception as exc:
+                    if attempts[idx] <= retries:
+                        attempts[idx] += 1
+                        submit(idx)
+                        continue
+                    if on_error == "raise":
+                        raise
+                    results[idx] = _failure(idx, configs[idx], exc, attempts[idx])
+                if reporter is not None and results[idx] is not None:
+                    reporter.task_done()
+            if timeout is None:
+                continue
+            # Clock tasks from when a worker picked them up, not from
+            # submission, so queueing behind a full pool never counts.
+            for fut in list(pending):
+                if started[fut] is None and fut.running():
+                    started[fut] = now
+                began = started[fut]
+                if began is None or now - began <= timeout:
+                    continue
+                idx = pending.pop(fut)
+                started.pop(fut, None)
+                fut.cancel()  # running futures ignore this; slot is lost
+                any_timeout = True
+                if attempts[idx] <= retries:
+                    attempts[idx] += 1
+                    submit(idx)
+                    continue
+                timeout_exc = TimeoutError(
+                    f"task exceeded timeout={timeout:g}s")
+                if on_error == "raise":
+                    raise timeout_exc
+                results[idx] = _done(
+                    reporter,
+                    _failure(idx, configs[idx], timeout_exc, attempts[idx],
+                             timed_out=True))
         return results
+    finally:
+        # A hung worker would block a waiting shutdown forever; abandon
+        # the pool instead once any task has timed out.
+        pool.shutdown(wait=not any_timeout, cancel_futures=True)
+
+
+def _done(reporter: Optional[ProgressReporter], result):
+    if reporter is not None:
+        reporter.task_done()
+    return result
 
 
 def sweep(
@@ -83,14 +303,20 @@ def sweep(
     *,
     processes: Optional[int] = None,
     progress: Union[bool, ProgressReporter] = False,
+    on_error: str = "raise",
+    retries: int = 0,
+    timeout: Optional[float] = None,
     **fixed,
 ) -> list[tuple[object, RunMetrics]]:
     """Vary one config field over ``values`` (other overrides in ``fixed``).
 
-    Returns ``[(value, metrics), ...]`` in value order.
+    Returns ``[(value, metrics), ...]`` in value order; with
+    ``on_error="record"`` a crashed run's metrics slot holds its
+    :class:`TaskFailure` instead.
     """
     values = list(values)
     configs = [base.with_(**{axis: v}, **fixed) for v in values]
     results = run_many(configs, processes=processes, progress=progress,
-                       label=f"sweep:{axis}")
+                       label=f"sweep:{axis}", on_error=on_error,
+                       retries=retries, timeout=timeout)
     return list(zip(values, results))

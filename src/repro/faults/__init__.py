@@ -1,0 +1,41 @@
+"""Dynamic fault injection: break the fabric while traffic is flowing.
+
+The paper's asymmetry experiments (§7) degrade links *before* traffic
+starts; this package models the harder, production-relevant regime —
+links failing and recovering, bandwidth collapsing, loss bursts and
+switch blackholes striking mid-run:
+
+* :class:`FaultEvent` / :class:`FaultSchedule` — declarative, seeded,
+  time-sorted descriptions of what breaks when (with a compact CLI spec
+  form, ``repro run --faults "0.1:link_down:leaf0-spine1;..."``);
+* :class:`FaultInjector` — arms a schedule against a live
+  :class:`~repro.net.topology.Network`: mutates port/switch state off
+  simulator timers, notifies load balancers through the
+  :class:`~repro.lb.base.PathStateObserver` hook, and emits each
+  transition through the tracer;
+* :func:`link_flap` / :func:`random_link_flaps` — schedule builders for
+  the common cases.
+
+See ``docs/reproducing.md`` ("Fault injection & resilience") for the
+spec grammar and experiment walk-throughs.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    LINK_KINDS,
+    NODE_KINDS,
+    link_flap,
+    random_link_flaps,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "LINK_KINDS",
+    "NODE_KINDS",
+    "link_flap",
+    "random_link_flaps",
+]

@@ -24,7 +24,12 @@ FlowBndr congestion-triggered per-flow rehash (FlowBender, simplified)
 TLB itself lives in :mod:`repro.core` and registers under ``"tlb"``.
 """
 
-from repro.lb.base import LbCounters, LoadBalancer, shortest_queue_index
+from repro.lb.base import (
+    LbCounters,
+    LoadBalancer,
+    PathStateObserver,
+    shortest_queue_index,
+)
 from repro.lb.ecmp import EcmpBalancer
 from repro.lb.rps import RpsBalancer
 from repro.lb.presto import PrestoBalancer
@@ -40,6 +45,7 @@ from repro.lb.registry import SCHEMES, attach_scheme, available_schemes, registe
 __all__ = [
     "LoadBalancer",
     "LbCounters",
+    "PathStateObserver",
     "shortest_queue_index",
     "EcmpBalancer",
     "RpsBalancer",

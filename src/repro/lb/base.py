@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.port import Port
     from repro.net.switch import Switch
 
-__all__ = ["LbCounters", "LoadBalancer", "shortest_queue_index"]
+__all__ = ["LbCounters", "LoadBalancer", "PathStateObserver", "shortest_queue_index"]
 
 
 @dataclass
@@ -73,11 +73,34 @@ def shortest_queue_index(ports: Sequence["Port"]) -> int:
     return best
 
 
-class LoadBalancer:
+class PathStateObserver:
+    """Control-plane notifications about path (uplink) liveness.
+
+    The fault injector (:mod:`repro.faults`) calls :meth:`path_down` /
+    :meth:`path_up` on the balancer of every switch whose uplink fails or
+    recovers — modelling the failure-detection signal a real control
+    plane (BFD, LAG monitoring) would deliver.  Implementations decide
+    what to do with it; :class:`LoadBalancer` excludes dead uplinks from
+    every subsequent decision and re-admits recovered ones.
+    """
+
+    def path_down(self, port: "Port") -> None:
+        """``port`` is no longer usable."""
+
+    def path_up(self, port: "Port") -> None:
+        """``port`` is usable again."""
+
+
+class LoadBalancer(PathStateObserver):
     """Base class: one instance per switch.
 
     Subclasses implement :meth:`select_port` and may override
-    :meth:`on_bind` to install timers or inspect the switch.
+    :meth:`on_bind` to install timers or inspect the switch.  The switch
+    data path enters through :meth:`pick`, which filters out uplinks
+    reported dead via the :class:`PathStateObserver` hook before the
+    scheme's :meth:`select_port` ever sees them — so every scheme,
+    congestion-aware or not, stops feeding a failed link once the
+    control plane has noticed it.
 
     Parameters
     ----------
@@ -93,6 +116,9 @@ class LoadBalancer:
         self.switch: Optional["Switch"] = None
         self.rng = random.Random(seed)
         self.counters = LbCounters()
+        #: uplinks reported down (identity set); see PathStateObserver
+        self.down_ports: set["Port"] = set()
+        self.path_events = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -109,7 +135,52 @@ class LoadBalancer:
     def on_bind(self) -> None:
         """Hook for subclasses (timers, port inspection)."""
 
+    # -- path state (PathStateObserver) ------------------------------------
+
+    def path_down(self, port: "Port") -> None:
+        """Record a dead uplink and tell the scheme (:meth:`on_path_down`)."""
+        if port not in self.down_ports:
+            self.down_ports.add(port)
+            self.path_events += 1
+            self.on_path_down(port)
+
+    def path_up(self, port: "Port") -> None:
+        """Re-admit a recovered uplink (:meth:`on_path_up` for schemes)."""
+        if port in self.down_ports:
+            self.down_ports.discard(port)
+            self.path_events += 1
+            self.on_path_up(port)
+
+    def on_path_down(self, port: "Port") -> None:
+        """Hook for subclasses (e.g. evict per-flow pins to the port)."""
+
+    def on_path_up(self, port: "Port") -> None:
+        """Hook for subclasses."""
+
+    def usable_ports(self, ports: Sequence["Port"]) -> Sequence["Port"]:
+        """``ports`` minus the uplinks reported down.
+
+        Falls back to the full candidate set when *every* candidate is
+        down — there is no good choice then, and packets will be dropped
+        or parked at the port itself, which is exactly what a switch
+        with no live uplink does.
+        """
+        if not self.down_ports:
+            return ports
+        live = [p for p in ports if p not in self.down_ports]
+        return live if live else ports
+
     # -- the decision ------------------------------------------------------
+
+    def pick(self, pkt: "Packet", ports: Sequence["Port"]) -> "Port":
+        """The switch-facing entry point: filter dead uplinks, then decide.
+
+        Per-flow state keyed by candidate *index* (TLB, Presto, LetFlow)
+        sees a shorter candidate list while a path is down, so pinned
+        flows remap deterministically — the behaviour of hashing into a
+        reduced ECMP group on real hardware.
+        """
+        return self.select_port(pkt, self.usable_ports(ports))
 
     def select_port(self, pkt: "Packet", ports: Sequence["Port"]) -> "Port":
         """Pick the output port for ``pkt`` among equal-cost candidates."""

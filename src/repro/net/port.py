@@ -93,7 +93,20 @@ class Port:
         this probability (before queueing), using ``loss_rng`` (a
         ``random.Random``-like object with ``.random()``).  Zero by
         default; used by robustness tests and failure-injection
-        experiments, not by the paper reproductions.
+        experiments, not by the paper reproductions.  Post-construction
+        changes go through :meth:`set_loss` (or the validating property
+        setters), which enforce the same invariants as ``__init__``.
+
+    Administrative state
+    --------------------
+    A port is *administratively up* by default.  :meth:`fail` takes the
+    link down — either dropping traffic (``mode="drop"``: the queue is
+    flushed and arrivals are discarded) or parking it (``mode="park"``:
+    queued and arriving packets are held, transmission stops) — and
+    :meth:`recover` brings it back, resuming transmission of anything
+    parked.  A packet whose serialisation completes while the port is
+    down is lost in both modes (it was on the wire when the link cut).
+    This is the substrate the :mod:`repro.faults` injector drives.
     """
 
     __slots__ = (
@@ -109,8 +122,10 @@ class Port:
         "_busy",
         "stats",
         "queue_bytes",
-        "loss_rate",
-        "loss_rng",
+        "_loss_rate",
+        "_loss_rng",
+        "_admin_up",
+        "_down_mode",
     )
 
     def __init__(
@@ -135,10 +150,6 @@ class Port:
             raise ConfigError(f"port {name}: buffer must hold >=1 packet")
         if ecn_threshold is not None and ecn_threshold < 1:
             raise ConfigError(f"port {name}: ECN threshold must be >=1 packet")
-        if not 0.0 <= loss_rate < 1.0:
-            raise ConfigError(f"port {name}: loss_rate must be in [0, 1)")
-        if loss_rate > 0.0 and loss_rng is None:
-            raise ConfigError(f"port {name}: loss_rate needs a loss_rng")
         self.sim = sim
         self.name = name
         self.rate = float(rate)
@@ -151,8 +162,101 @@ class Port:
         self._busy = False
         self.stats = PortStats()
         self.queue_bytes = 0
-        self.loss_rate = float(loss_rate)
-        self.loss_rng = loss_rng
+        self._loss_rate = 0.0
+        self._loss_rng = None
+        self._admin_up = True
+        self._down_mode = "drop"
+        self.set_loss(loss_rate, loss_rng)
+
+    # -- fault injection: random loss ------------------------------------
+
+    @property
+    def loss_rate(self) -> float:
+        """Per-packet injected loss probability (0 disables)."""
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        self.set_loss(rate, self._loss_rng)
+
+    @property
+    def loss_rng(self):
+        """The RNG that drives injected loss (``.random()`` per packet)."""
+        return self._loss_rng
+
+    @loss_rng.setter
+    def loss_rng(self, rng) -> None:
+        self.set_loss(self._loss_rate, rng)
+
+    def set_loss(self, rate: float, rng=None) -> None:
+        """Set (or clear) injected loss, validating the pair atomically.
+
+        ``rate`` must lie in ``[0, 1)`` and a positive rate requires an
+        ``rng`` exposing ``.random()`` — the same invariants ``__init__``
+        enforces, so post-construction mutation cannot silently create a
+        port that crashes (or worse, never drops) on its next packet.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError(f"port {self.name}: loss_rate must be in [0, 1)")
+        if rate > 0.0 and rng is None:
+            raise ConfigError(f"port {self.name}: loss_rate needs a loss_rng")
+        if rng is not None and not callable(getattr(rng, "random", None)):
+            raise ConfigError(
+                f"port {self.name}: loss_rng must expose a random() method")
+        self._loss_rate = float(rate)
+        self._loss_rng = rng
+
+    # -- fault injection: administrative link state ----------------------
+
+    @property
+    def admin_up(self) -> bool:
+        """Whether the link is administratively up (default True)."""
+        return self._admin_up
+
+    @property
+    def down_mode(self) -> str:
+        """How a down port treats packets: ``"drop"`` or ``"park"``."""
+        return self._down_mode
+
+    def fail(self, mode: str = "drop") -> None:
+        """Take the link administratively down.  Idempotent.
+
+        ``mode="drop"`` flushes the queue and discards arrivals (a cut
+        cable); ``mode="park"`` holds queued and arriving packets until
+        :meth:`recover` (a paused interface).  Either way the packet
+        currently being serialised is lost when its transmission event
+        fires.
+        """
+        if mode not in ("drop", "park"):
+            raise ConfigError(
+                f"port {self.name}: down mode must be 'drop' or 'park', "
+                f"got {mode!r}")
+        self._down_mode = mode
+        if not self._admin_up:
+            return
+        self._admin_up = False
+        if mode == "drop" and self._queue:
+            stats = self.stats
+            while self._queue:
+                pkt = self._queue.popleft()
+                self.queue_bytes -= pkt.size
+                stats.dropped += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
+                        seq=pkt.seq, is_ack=pkt.is_ack, reason="link_down",
+                    )
+
+    def recover(self) -> None:
+        """Bring the link administratively up again.  Idempotent.
+
+        Parked packets resume transmission immediately.
+        """
+        if self._admin_up:
+            return
+        self._admin_up = True
+        if self._queue and not self._busy:
+            self._start_transmission()
 
     # -- queue state (the congestion signals LB schemes read) ------------
 
@@ -180,7 +284,15 @@ class Port:
         ``False`` if it was dropped because the buffer was full.
         """
         stats = self.stats
-        if self.loss_rate > 0.0 and self.loss_rng.random() < self.loss_rate:
+        if not self._admin_up and self._down_mode == "drop":
+            stats.dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
+                    seq=pkt.seq, is_ack=pkt.is_ack, reason="link_down",
+                )
+            return False
+        if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
             stats.dropped += 1
             if self.tracer.enabled:
                 self.tracer.emit(
@@ -220,7 +332,7 @@ class Port:
                 seq=pkt.seq, qlen=len(self._queue), is_ack=pkt.is_ack,
             )
         self._queue.append(pkt)
-        if not self._busy:
+        if not self._busy and self._admin_up:
             self._start_transmission()
         return True
 
@@ -238,6 +350,17 @@ class Port:
         self.sim.call_later(tx, self._transmission_done, pkt)
 
     def _transmission_done(self, pkt: "Packet") -> None:
+        if not self._admin_up:
+            # The link was cut mid-serialisation: the packet is lost and
+            # no further transmission starts until recover().
+            self._busy = False
+            self.stats.dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
+                    seq=pkt.seq, is_ack=pkt.is_ack, reason="link_down",
+                )
+            return
         self.stats.transmitted += 1
         self.stats.bytes_transmitted += pkt.size
         # Propagation pipelines: hand off and immediately start the next.
@@ -248,4 +371,5 @@ class Port:
             self._busy = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Port {self.name} qlen={self.queue_length} busy={self._busy}>"
+        state = "" if self._admin_up else f" DOWN({self._down_mode})"
+        return f"<Port {self.name} qlen={self.queue_length} busy={self._busy}{state}>"

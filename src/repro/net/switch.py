@@ -39,7 +39,8 @@ class Switch(Node):
     (e.g. TLB's ``reroute``) with node attribution.
     """
 
-    __slots__ = ("sim", "ports", "routes", "lb", "packets_forwarded", "tracer")
+    __slots__ = ("sim", "ports", "routes", "lb", "packets_forwarded", "tracer",
+                 "blackholed", "packets_blackholed")
 
     def __init__(self, sim: Simulator, name: str, *, tracer: Tracer | None = None):
         super().__init__(name)
@@ -51,6 +52,9 @@ class Switch(Node):
         self.lb: Optional["LoadBalancer"] = None
         self.packets_forwarded = 0
         self.tracer = tracer if tracer is not None else _NULL_TRACER
+        #: fault injection: a blackholed switch silently eats every packet
+        self.blackholed = False
+        self.packets_blackholed = 0
 
     # -- wiring -----------------------------------------------------------
 
@@ -82,8 +86,22 @@ class Switch(Node):
 
         Single-candidate destinations bypass the balancer entirely
         (down-direction traffic in a leaf–spine fabric); multi-candidate
-        destinations ask the balancer to pick the uplink.
+        destinations ask the balancer — through its
+        :meth:`~repro.lb.base.LoadBalancer.pick` entry point, which
+        excludes uplinks the control plane has reported dead.
+
+        A blackholed switch (see :meth:`set_blackhole`) silently drops
+        everything: the fault the :mod:`repro.faults` injector uses to
+        model a crashed/misprogrammed spine.
         """
+        if self.blackholed:
+            self.packets_blackholed += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "drop", node=self.name, flow=pkt.flow_id,
+                    seq=pkt.seq, is_ack=pkt.is_ack, reason="blackhole",
+                )
+            return
         try:
             candidates = self.routes[pkt.dst]
         except KeyError:
@@ -97,8 +115,12 @@ class Switch(Node):
                     f"{self.name}: {len(candidates)} candidate ports for "
                     f"{pkt.dst!r} but no load balancer attached"
                 )
-            port = self.lb.select_port(pkt, candidates)
+            port = self.lb.pick(pkt, candidates)
         port.enqueue(pkt)
+
+    def set_blackhole(self, on: bool) -> None:
+        """Start or stop silently dropping every received packet."""
+        self.blackholed = bool(on)
 
     # -- introspection helpers (used by experiments/metrics) ---------------
 

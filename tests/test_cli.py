@@ -88,7 +88,36 @@ def test_sweep_progress_flag_parses():
 
 def test_figure_choices_cover_all_paper_figures():
     expected = {f"fig{i}" for i in [3, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17]}
+    expected.add("faults")  # beyond the paper: dynamic-failure comparison
     assert set(FIGURES) == expected
+
+
+def test_run_command_with_faults(capsys):
+    assert main(["run", "--scheme", "tlb", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--faults",
+                 "0.001:link_down:leaf0-spine1;0.01:link_up:leaf0-spine1"]) == 0
+    out = capsys.readouterr().out
+    assert "scheme=tlb" in out
+
+
+def test_run_command_rejects_malformed_fault_spec():
+    from repro.errors import FaultError
+
+    with pytest.raises(FaultError):
+        main(["run", "--short-flows", "6", "--long-flows", "1",
+              "--paths", "4", "--faults", "0.1:meteor:leaf0-spine1"])
+
+
+def test_sweep_command_with_faults_and_retries(capsys, tmp_path):
+    csv_path = tmp_path / "sweep.csv"
+    assert main(["sweep", "--schemes", "ecmp", "--loads", "0.3",
+                 "--flows", "10", "--retries", "0", "--faults",
+                 "0.001:link_down:leaf0-spine1;0.01:link_up:leaf0-spine1",
+                 "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 10" in out
+    assert csv_path.exists()
 
 
 def test_parser_rejects_unknown_figure():

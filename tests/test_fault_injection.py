@@ -21,6 +21,30 @@ def test_loss_rate_validation(sim, sink):
         Port(sim, "p", 1e9, 0.0, sink, loss_rate=0.1)  # missing rng
 
 
+def test_post_construction_loss_mutation_is_validated(sim, sink):
+    """The satellite fix: mutating loss state after __init__ goes through
+    the same invariants as the constructor."""
+    port = Port(sim, "p", 1e9, 0.0, sink)
+    with pytest.raises(ConfigError):
+        port.loss_rate = 0.1  # no RNG installed yet
+    with pytest.raises(ConfigError):
+        port.set_loss(1.5, random.Random(0))
+    with pytest.raises(ConfigError):
+        port.set_loss(0.1, object())  # no .random()
+    port.set_loss(0.1, random.Random(0))
+    with pytest.raises(ConfigError):
+        port.loss_rng = None  # would orphan the positive rate
+    port.set_loss(0.0, None)  # clearing both together is fine
+    assert port.loss_rate == 0.0 and port.loss_rng is None
+
+
+def test_loss_rate_property_setter_with_rng_installed(sim, sink):
+    port = Port(sim, "p", 1e9, 0.0, sink)
+    port.loss_rng = random.Random(7)
+    port.loss_rate = 0.25  # valid now that an RNG exists
+    assert port.loss_rate == 0.25
+
+
 def test_injected_loss_drops_expected_fraction(sim, sink):
     port = Port(sim, "p", 1e9, 0.0, sink, buffer_packets=10_000,
                 loss_rate=0.3, loss_rng=random.Random(42))
@@ -36,8 +60,7 @@ def _lossy_fabric(loss_rate, seed=0):
     net = build_two_leaf_fabric(n_paths=4, hosts_per_leaf=8)
     rng = random.Random(seed)
     for port in net.ports.values():
-        port.loss_rate = loss_rate
-        port.loss_rng = rng
+        port.set_loss(loss_rate, rng)
     return net
 
 

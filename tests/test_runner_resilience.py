@@ -1,0 +1,135 @@
+"""run_many resilience: crash isolation, retries, timeouts, fallback.
+
+The runners below are module-level so they pickle into worker
+processes; "configs" are plain strings/tuples (run_many never inspects
+them beyond passing them to the runner).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import TaskFailure, partition_results, run_many
+
+
+def _echo(config):
+    return config
+
+
+def _boom(config):
+    if config == "bad":
+        raise ValueError("boom")
+    return config
+
+
+def _crash_in_worker(config):
+    """Hard-kill the process — but only when running in a *worker*.
+
+    The parent pid rides along in the config so the serial rescue path
+    (same process as pytest) survives re-running the task.
+    """
+    tag, parent = config
+    if tag == "die" and os.getpid() != parent:
+        os._exit(1)
+    return tag
+
+
+def _sleepy(config):
+    if config == "slow":
+        time.sleep(2.0)
+    return config
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigError):
+        run_many(["a"], runner=_echo, on_error="ignore")
+    with pytest.raises(ConfigError):
+        run_many(["a"], runner=_echo, retries=-1)
+    with pytest.raises(ConfigError):
+        run_many(["a"], runner=_echo, timeout=0)
+
+
+def test_serial_record_preserves_partial_results():
+    results = run_many(["a", "bad", "c"], processes=0, runner=_boom,
+                       on_error="record")
+    assert results[0] == "a" and results[2] == "c"
+    failure = results[1]
+    assert isinstance(failure, TaskFailure)
+    assert failure.index == 1
+    assert failure.config == "bad"
+    assert "ValueError: boom" in failure.error
+    assert "boom" in failure.traceback
+    assert failure.attempts == 1 and not failure.timed_out
+    ok, bad = partition_results(results)
+    assert ok == ["a", "c"] and bad == [failure]
+
+
+def test_serial_raise_is_still_the_default():
+    with pytest.raises(ValueError, match="boom"):
+        run_many(["a", "bad"], processes=0, runner=_boom)
+
+
+def test_serial_retry_eventually_succeeds():
+    calls = {"n": 0}
+
+    def flaky(config):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise RuntimeError("transient")
+        return "ok"
+
+    assert run_many(["x"], processes=0, runner=flaky, retries=2) == ["ok"]
+    assert calls["n"] == 3
+
+
+def test_serial_retries_exhausted_records_attempt_count():
+    [failure] = run_many(["bad"], processes=0, runner=_boom,
+                         on_error="record", retries=2)
+    assert isinstance(failure, TaskFailure)
+    assert failure.attempts == 3  # 1 + retries
+
+
+def test_pool_task_exception_becomes_failure_row():
+    results = run_many(["a", "bad", "c", "d"], processes=2, runner=_boom,
+                       on_error="record", retries=1)
+    assert results[0] == "a" and results[2] == "c" and results[3] == "d"
+    assert isinstance(results[1], TaskFailure)
+    assert results[1].attempts == 2
+    assert "ValueError: boom" in results[1].error
+
+
+def test_pool_worker_crash_rescues_remaining_tasks_serially():
+    """A hard-killed worker breaks the whole pool; every unfinished task
+    (the crasher included) must still produce a result via the serial
+    rescue — this is the ISSUE acceptance scenario."""
+    parent = os.getpid()
+    configs = [("a", parent), ("die", parent), ("c", parent), ("d", parent)]
+    results = run_many(configs, processes=2, runner=_crash_in_worker,
+                       on_error="record")
+    assert results == ["a", "die", "c", "d"]
+
+
+def test_pool_timeout_records_timed_out_failure():
+    results = run_many(["fast1", "slow", "fast2"], processes=2,
+                       runner=_sleepy, timeout=0.4, on_error="record")
+    assert results[0] == "fast1" and results[2] == "fast2"
+    assert isinstance(results[1], TaskFailure)
+    assert results[1].timed_out
+    assert "timeout" in results[1].error
+
+
+def test_pool_creation_failure_falls_back_to_serial(monkeypatch):
+    import repro.experiments.runner as runner_mod
+
+    def no_pool(*args, **kwargs):
+        raise OSError("fork unavailable")
+
+    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", no_pool)
+    assert run_many(["a", "b", "c"], processes=4, runner=_echo) == \
+        ["a", "b", "c"]
+
+
+def test_empty_input_short_circuits():
+    assert run_many([], runner=_echo) == []
