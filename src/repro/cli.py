@@ -15,6 +15,15 @@ Commands
     Evaluate the Eq. 9 threshold for given parameters (no simulation).
 ``trace summarize``
     Aggregate a JSONL trace file into per-kind (and per-node) tables.
+``report``
+    Render a flight recording (``repro run --record``) as a
+    self-contained HTML dashboard.
+``diff``
+    Compare two metric exports (JSON/CSV/recording) metric-by-metric;
+    exits non-zero on regressions beyond tolerance.
+``bench``
+    CI smoke benchmark: one reduced run per scheme, JSON rows out,
+    optional recorded-run HTML report.
 """
 
 from __future__ import annotations
@@ -78,6 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stream a JSONL trace of the run to FILE")
     run.add_argument("--telemetry", action="store_true",
                      help="profile the run (wall time, events/sec, peak RSS)")
+    run.add_argument("--record", metavar="FILE",
+                     help="flight-record the run to FILE (.npz; see"
+                     " `repro report` / `repro diff`)")
+    run.add_argument("--record-cadence", type=float, default=500e-6,
+                     metavar="S", help="initial sample period in simulated"
+                     " seconds (default 500 µs)")
+    run.add_argument("--record-max-samples", type=int, default=4096,
+                     metavar="N", help="row cap before the recorder"
+                     " decimates 2x and doubles its cadence (default 4096)")
     run.add_argument("--faults", metavar="SPEC", default="",
                      help="dynamic fault schedule, e.g."
                      " '0.1:link_down:leaf0-spine1;0.3:link_up:leaf0-spine1'")
@@ -113,6 +131,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also print the per-(kind, node) breakdown")
     summ.add_argument("--top", type=int, default=None, metavar="N",
                       help="limit the per-node table to each kind's N busiest nodes")
+
+    rep = sub.add_parser("report", help="render a flight recording as HTML")
+    rep.add_argument("path", help="recording written by `repro run --record`")
+    rep.add_argument("--html", metavar="FILE",
+                     help="write the dashboard here (default: print the"
+                     " recording's summary row)")
+
+    diff = sub.add_parser(
+        "diff", help="compare two metric exports; non-zero exit on regression")
+    diff.add_argument("a", help="baseline export (.json, .csv, or .npz)")
+    diff.add_argument("b", help="candidate export (.json, .csv, or .npz)")
+    diff.add_argument("--tolerance", type=float, default=5.0, metavar="PCT",
+                      help="allowed relative change in the bad direction,"
+                      " percent (default 5)")
+    diff.add_argument("--all", action="store_true", dest="show_all",
+                      help="show unchanged metrics too")
+
+    bench = sub.add_parser(
+        "bench", help="CI smoke benchmark: one reduced run per scheme")
+    bench.add_argument("--schemes", nargs="+", default=["ecmp", "rps", "tlb"])
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--json", metavar="FILE",
+                       help="write one flat JSON row per scheme")
+    bench.add_argument("--html", metavar="FILE",
+                       help="render the TLB run's recording as HTML here")
+    bench.add_argument("--record", metavar="FILE",
+                       help="keep the TLB run's recording here (.npz)")
 
     model = sub.add_parser("model", help="evaluate Eq. 9 (no simulation)")
     model.add_argument("--short-flows", type=int, default=100)
@@ -174,14 +219,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         counters = CountingTracer()
         tracer = TeeTracer(JsonlTracer(args.trace), counters)
+    recorder = None
+    if args.record:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(cadence=args.record_cadence,
+                                  max_samples=args.record_max_samples)
     try:
-        result = run_scenario(config, tracer=tracer)
+        result = run_scenario(config, tracer=tracer, recorder=recorder)
     finally:
         if tracer is not None:
             tracer.close()
     print(result.metrics.summary())
     if tracer is not None:
         print(f"wrote {args.trace} ({counters.total()} trace records)")
+    if recorder is not None:
+        saved = recorder.save(args.record)
+        print(f"wrote {saved} ({recorder.n_samples} samples, "
+              f"final cadence {recorder.cadence_now * 1e6:.0f} µs)")
     manifest = None
     if args.csv or args.json:
         from repro.obs import build_manifest
@@ -246,6 +301,44 @@ def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import RecordedRun, write_html_report
+
+    run = RecordedRun.load(args.path)
+    if args.html:
+        path = write_html_report(run, args.html, source=args.path)
+        print(f"wrote {path}")
+        return 0
+    for key, value in run.summary_row().items():
+        print(f"{key:>24}: {value}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_paths, format_diff
+
+    deltas, n_regressions = diff_paths(
+        args.a, args.b, tolerance=args.tolerance / 100.0)
+    print(format_diff(deltas, show_all=args.show_all))
+    return 1 if n_regressions else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import run_bench, write_bench_json
+
+    rows = run_bench(args.schemes, seed=args.seed,
+                     record_path=args.record, html_path=args.html)
+    for row in rows:
+        print(f"{row['scheme']:>8}: short FCT p99 "
+              f"{row.get('short_fct_p99_s')} s, wall "
+              f"{row.get('extra_wall_time_s')} s")
+    if args.json:
+        print("wrote", write_bench_json(args.json, rows))
+    if args.html:
+        print("wrote", args.html)
+    return 0
+
+
 def _cmd_figure(name: str) -> int:
     import importlib
 
@@ -280,6 +373,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure(args.name)
     if args.command == "model":
         return _cmd_model(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "trace":
         if args.trace_command == "summarize":
             return _cmd_trace_summarize(args)

@@ -41,6 +41,23 @@ class QthDecision:
     x_packets: float
     deadline: float
 
+    def as_dict(self) -> dict:
+        """Flat audit row (the flight recorder's q_th decision record).
+
+        ``raw`` is Eq. 9's unclamped prediction; the infeasible regimes
+        report it as ``inf``, which consumers should treat as "pinned to
+        the buffer", not as a numeric threshold.
+        """
+        return {
+            "qth": self.qth,
+            "raw": self.raw,
+            "regime": self.regime,
+            "m_short": self.m_short,
+            "m_long": self.m_long,
+            "x_packets": self.x_packets,
+            "deadline": self.deadline,
+        }
+
 
 class GranularityCalculator:
     """Periodic ``q_th`` derivation for one switch.

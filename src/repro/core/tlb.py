@@ -66,6 +66,10 @@ class TlbBalancer(LoadBalancer):
         #: decision history: (time, QthDecision); populated when tracing
         self.qth_history: list[tuple[float, QthDecision]] = []
         self.record_history = False
+        #: audit hooks invoked as ``fn(now, balancer, decision)`` after
+        #: every granularity update (the flight recorder registers here);
+        #: empty by default so the tick pays nothing when nobody listens
+        self.decision_listeners: list = []
         self.long_reroutes = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -107,6 +111,9 @@ class TlbBalancer(LoadBalancer):
         self.qth = decision.qth
         if self.record_history:
             self.qth_history.append((now, decision))
+        if self.decision_listeners:
+            for fn in self.decision_listeners:
+                fn(now, self, decision)
 
     # -- the data path -------------------------------------------------------
 

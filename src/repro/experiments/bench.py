@@ -1,0 +1,75 @@
+"""Benchmark smoke suite: one small recorded run per scheme.
+
+``repro bench`` exists for CI: it runs a reduced-scale scenario per
+scheme with telemetry on, emits one flat JSON row per scheme
+(``BENCH_pr3.json`` in the workflow), and — for the TLB run — saves a
+flight recording and renders its HTML report as a build artefact.
+
+The JSON rows are :func:`~repro.metrics.export.metrics_to_dict` records
+plus the telemetry extras (wall time, events/sec, peak RSS), so two
+bench files from different commits diff directly with ``repro diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+from repro.metrics.export import metrics_to_dict
+from repro.obs.recorder import FlightRecorder, RecordedRun
+from repro.obs.report import write_html_report
+
+__all__ = ["bench_config", "run_bench", "write_bench_json"]
+
+DEFAULT_SCHEMES = ("ecmp", "rps", "tlb")
+
+
+def bench_config(scheme: str, *, seed: int = 1) -> ScenarioConfig:
+    """The reduced-scale smoke scenario (~seconds of wall time)."""
+    return ScenarioConfig(
+        scheme=scheme, seed=seed, n_short=40, n_long=2,
+        n_paths=8, hosts_per_leaf=8, horizon=0.5, telemetry=True)
+
+
+def run_bench(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    *,
+    seed: int = 1,
+    record_scheme: str = "tlb",
+    record_path: Optional[str | Path] = None,
+    html_path: Optional[str | Path] = None,
+) -> list[dict]:
+    """Run the smoke suite; returns one flat row per scheme.
+
+    When ``record_scheme`` is among ``schemes``, its run carries a
+    :class:`FlightRecorder`; the recording lands at ``record_path`` and,
+    if ``html_path`` is given, its dashboard is rendered there.
+    """
+    rows: list[dict] = []
+    for scheme in schemes:
+        recorder = None
+        if scheme == record_scheme and (record_path or html_path):
+            recorder = FlightRecorder()
+        result = run_scenario(bench_config(scheme, seed=seed), recorder=recorder)
+        row = metrics_to_dict(result.metrics)
+        row["seed"] = seed
+        rows.append(row)
+        if recorder is not None:
+            target = Path(record_path) if record_path else None
+            if target is None:
+                # report-only: keep the recording beside the HTML
+                target = Path(html_path).with_suffix(".npz")
+            saved = recorder.save(target)
+            if html_path:
+                write_html_report(RecordedRun.load(saved), html_path,
+                                  source=str(saved))
+    return rows
+
+
+def write_bench_json(path: str | Path, rows: list[dict]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(rows, indent=2))
+    return path

@@ -195,6 +195,8 @@ class ScenarioResult:
     tracer: Any
     #: the armed :class:`~repro.faults.FaultInjector`, or None
     injector: Any = None
+    #: the finalized :class:`~repro.obs.FlightRecorder`, or None
+    recorder: Any = None
 
     @property
     def completed_all(self) -> bool:
@@ -243,7 +245,7 @@ def _install_workload(config: ScenarioConfig, net, registry) -> WorkloadResult:
     return wl.install()
 
 
-def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
+def run_scenario(config: ScenarioConfig, *, tracer=None, recorder=None) -> ScenarioResult:
     """Build, run and measure one scenario.
 
     Runs in ``slice_width`` steps until either every flow has delivered
@@ -255,7 +257,21 @@ def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
         Optional trace sink installed across the fabric, overriding the
         config-derived one (e.g. a :class:`~repro.obs.JsonlTracer`; the
         caller keeps ownership and closes it).
+    recorder:
+        Optional :class:`~repro.obs.FlightRecorder`.  When given, it is
+        attached to the built fabric (sample timer, q_th audit hooks,
+        FCT subscription) and its queueing-delay tap is tee'd into the
+        trace stream; it is stopped and finalized before returning.
+        ``None`` (the default) leaves every run path untouched.
     """
+    if recorder is not None:
+        from repro.obs.tracers import TeeTracer
+
+        base = tracer
+        if base is None and config.trace_kinds:
+            base = RecordingTracer(set(config.trace_kinds))
+        tap = recorder.wait_tap()
+        tracer = TeeTracer(base, tap) if base is not None else tap
     net, tracer = _build_network(config, tracer)
     registry = FlowRegistry()
     collector = MetricsCollector(
@@ -274,6 +290,9 @@ def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
             net, FaultSchedule.from_spec(config.faults),
             detection_delay=config.fault_detection_delay,
         ).arm()
+    if recorder is not None:
+        recorder.attach(net, registry=registry, balancers=balancers,
+                        short_threshold=config.short_threshold)
 
     sim = net.sim
     telemetry = None
@@ -304,6 +323,9 @@ def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
             lb.path_events for lb in balancers.values())
     if telemetry is not None:
         metrics.extras.update(telemetry.as_extras())
+    if recorder is not None:
+        recorder.stop()
+        recorder.finalize(scheme=config.scheme, seed=config.seed, horizon=sim.now)
     tracer.flush()
     return ScenarioResult(
         config=config,
@@ -315,6 +337,7 @@ def run_scenario(config: ScenarioConfig, *, tracer=None) -> ScenarioResult:
         balancers=balancers,
         tracer=tracer,
         injector=injector,
+        recorder=recorder,
     )
 
 

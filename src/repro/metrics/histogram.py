@@ -1,0 +1,171 @@
+"""Constant-memory log-bucketed histograms for latency percentiles.
+
+The flight recorder needs FCT and queueing-delay percentiles over runs
+of unbounded length without keeping the samples.  :class:`LogHistogram`
+buckets observations geometrically (``bins_per_decade`` buckets per
+power of ten), so relative resolution is constant across the whole
+dynamic range — the right shape for latencies spanning microseconds to
+seconds — and memory is bounded by the number of *occupied* decades
+(a few hundred buckets at most), independent of the observation count.
+
+Percentile readout interpolates within the winning bucket's geometric
+bounds, giving a worst-case relative error of one bucket width
+(≈ ``10^(1/bins_per_decade) - 1``, i.e. ~26 % at the default 10 per
+decade — plenty for dashboard panels and regression gates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["LogHistogram"]
+
+
+class LogHistogram:
+    """Streaming histogram with logarithmically spaced buckets.
+
+    Parameters
+    ----------
+    bins_per_decade:
+        Buckets per factor-of-ten of value.  10 (default) gives ~26 %
+        bucket width; 20 gives ~12 %.
+    min_value:
+        Values in ``(0, min_value)`` clamp into the first bucket;
+        non-positive values count separately (``n_zero``) and read back
+        as exactly 0.0 from :meth:`percentile`.
+    """
+
+    __slots__ = ("bins_per_decade", "min_value", "_counts", "count",
+                 "n_zero", "total", "min", "max")
+
+    def __init__(self, bins_per_decade: int = 10, min_value: float = 1e-9):
+        if bins_per_decade < 1:
+            raise ConfigError("bins_per_decade must be >= 1")
+        if min_value <= 0:
+            raise ConfigError("min_value must be positive")
+        self.bins_per_decade = int(bins_per_decade)
+        self.min_value = float(min_value)
+        #: bucket index -> count; bucket b spans
+        #: [min_value * 10^(b/bins_per_decade), one bucket up)
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self.n_zero = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- ingest -----------------------------------------------------------
+
+    def _bucket(self, x: float) -> int:
+        if x <= self.min_value:
+            return 0
+        return int(math.floor(math.log10(x / self.min_value) * self.bins_per_decade))
+
+    def observe(self, x: float) -> None:
+        """Fold one observation in (non-positive values count as zero)."""
+        if not math.isfinite(x):
+            raise ConfigError(f"observation must be finite, got {x!r}")
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        if x <= 0.0:
+            self.n_zero += 1
+            return
+        b = self._bucket(x)
+        self._counts[b] = self._counts.get(b, 0) + 1
+
+    def observe_many(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.observe(x)
+
+    # -- readout ----------------------------------------------------------
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._counts)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def _edges(self, b: int) -> tuple[float, float]:
+        lo = self.min_value * 10.0 ** (b / self.bins_per_decade)
+        hi = self.min_value * 10.0 ** ((b + 1) / self.bins_per_decade)
+        return lo, hi
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (``0 <= p <= 100``).
+
+        NaN with no observations.  Exact for the zero mass; geometric
+        interpolation within the winning bucket otherwise, clamped to
+        the observed ``[min, max]``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {p!r}")
+        if self.count == 0:
+            return math.nan
+        target = p / 100.0 * self.count
+        if self.n_zero and target <= self.n_zero:
+            return 0.0
+        seen = float(self.n_zero)
+        for b in sorted(self._counts):
+            c = self._counts[b]
+            if seen + c >= target:
+                lo, hi = self._edges(b)
+                frac = (target - seen) / c
+                value = lo * (hi / lo) ** frac
+                return min(max(value, max(self.min, 0.0)), self.max)
+            seen += c
+        return self.max
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram (same bucketing) into this one."""
+        if (other.bins_per_decade != self.bins_per_decade
+                or other.min_value != self.min_value):
+            raise ConfigError("histograms must share bucketing to merge")
+        for b, c in other._counts.items():
+            self._counts[b] = self._counts.get(b, 0) + c
+        self.count += other.count
+        self.n_zero += other.n_zero
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    # -- serialisation (flight-recorder artefacts) ------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Dense arrays for ``.npz`` storage: bucket indices, counts, meta."""
+        buckets = np.array(sorted(self._counts), dtype=np.int64)
+        counts = np.array([self._counts[int(b)] for b in buckets], dtype=np.int64)
+        meta = np.array(
+            [float(self.bins_per_decade), self.min_value, float(self.count),
+             float(self.n_zero), self.total,
+             self.min if self.count else math.nan,
+             self.max if self.count else math.nan],
+            dtype=np.float64)
+        return {"buckets": buckets, "counts": counts, "meta": meta}
+
+    @classmethod
+    def from_arrays(cls, buckets: np.ndarray, counts: np.ndarray,
+                    meta: np.ndarray) -> "LogHistogram":
+        """Inverse of :meth:`to_arrays`."""
+        h = cls(bins_per_decade=int(meta[0]), min_value=float(meta[1]))
+        h._counts = {int(b): int(c) for b, c in zip(buckets, counts)}
+        h.count = int(meta[2])
+        h.n_zero = int(meta[3])
+        h.total = float(meta[4])
+        h.min = float(meta[5]) if h.count else math.inf
+        h.max = float(meta[6]) if h.count else -math.inf
+        return h
+
+    def bucket_table(self) -> list[tuple[float, float, int]]:
+        """(low_edge, high_edge, count) rows, ascending (for charts)."""
+        return [(*self._edges(b), c)
+                for b, c in sorted(self._counts.items())]

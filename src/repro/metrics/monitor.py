@@ -25,23 +25,47 @@ class QueueMonitor:
     """Samples ``ports``' queue lengths every ``period`` seconds.
 
     Sampling starts at ``sim.now + period`` and runs until :meth:`stop`.
+
+    Memory is bounded: once ``max_samples`` rows are held, the stored
+    series is decimated 2× (every other row kept) and the effective
+    sampling stride doubles, so an arbitrarily long run keeps at most
+    ``max_samples`` rows at a coarsening-but-uniform cadence.  Pass
+    ``max_samples=None`` to keep every sample (the pre-cap behaviour).
     """
 
-    def __init__(self, sim: Simulator, ports: Sequence[Port], period: float):
+    def __init__(self, sim: Simulator, ports: Sequence[Port], period: float,
+                 *, max_samples: int | None = 65536):
         if not ports:
             raise ConfigError("QueueMonitor needs at least one port")
         if period <= 0:
             raise ConfigError("period must be positive")
+        if max_samples is not None and max_samples < 2:
+            raise ConfigError("max_samples must be >= 2 (or None)")
         self.sim = sim
         self.ports = list(ports)
         self.period = float(period)
+        self.max_samples = max_samples
         self.times: list[float] = []
         self._samples: list[list[int]] = []
+        #: record every ``stride``-th timer tick (doubles at each decimation)
+        self.stride = 1
+        self._skip = 0
         self._timer = PeriodicTimer(sim, period, self._sample)
 
     def _sample(self) -> None:
+        self._skip += 1
+        if self._skip < self.stride:
+            return
+        self._skip = 0
         self.times.append(self.sim.now)
         self._samples.append([p.queue_length for p in self.ports])
+        if self.max_samples is not None and len(self.times) >= self.max_samples:
+            # Keep the phase that retains the newest row, so surviving
+            # rows stay uniformly stride*period apart across the cut.
+            keep = (len(self.times) - 1) % 2
+            self.times = self.times[keep::2]
+            self._samples = self._samples[keep::2]
+            self.stride *= 2
 
     def stop(self) -> None:
         """Stop sampling (idempotent)."""

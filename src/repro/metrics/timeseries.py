@@ -9,6 +9,8 @@ back as NumPy arrays.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import ConfigError
@@ -38,8 +40,21 @@ class BinnedSeries:
         self._counts: list[int] = []
 
     def add(self, time: float, value: float = 1.0) -> None:
-        """Accumulate ``value`` into the bin containing ``time``."""
-        idx = int((time - self.start) / self.bin_width)
+        """Accumulate ``value`` into the bin containing ``time``.
+
+        Bins are left-closed, right-open intervals whose edges are the
+        *float* values ``start + k * bin_width``.  Plain truncating
+        division can round across an edge (e.g. ``0.07 / 0.01`` is one
+        ulp above 7.0, yet the float edge ``7 * 0.01`` lies above 0.07),
+        so the index is nudged back onto the edge grid after the floor.
+        """
+        start, width = self.start, self.bin_width
+        idx = math.floor((time - start) / width)
+        # Correct float-division rounding against the actual edges.
+        while idx > 0 and start + idx * width > time:
+            idx -= 1
+        while start + (idx + 1) * width <= time:
+            idx += 1
         if idx < 0:
             raise ConfigError(f"time {time} precedes series start {self.start}")
         sums, counts = self._sums, self._counts

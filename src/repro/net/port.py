@@ -275,6 +275,22 @@ class Port:
         """Time to clock ``nbytes`` onto this link."""
         return (nbytes * BITS_PER_BYTE) / self.rate
 
+    def snapshot(self) -> tuple[int, float, int, int, int]:
+        """One cheap observation for periodic samplers (flight recorder):
+        ``(queue_length, busy_time, bytes_transmitted, ecn_marked,
+        dropped)``.  Counters are cumulative; samplers difference
+        consecutive snapshots to get per-window rates, which stays
+        correct under decimation (subsampling a cumulative counter is
+        still a cumulative counter)."""
+        stats = self.stats
+        return (
+            len(self._queue),
+            stats.busy_time,
+            stats.bytes_transmitted,
+            stats.ecn_marked,
+            stats.dropped,
+        )
+
     # -- data path --------------------------------------------------------
 
     def enqueue(self, pkt: "Packet") -> bool:

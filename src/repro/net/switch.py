@@ -127,3 +127,19 @@ class Switch(Node):
     def uplinks_for(self, dst_host: str) -> tuple["Port", ...]:
         """The candidate port set for a destination (for tests/metrics)."""
         return self.routes[dst_host]
+
+    def lb_flow_counts(self) -> Optional[tuple[int, int]]:
+        """The attached balancer's live ``(m_short, m_long)`` flow counts.
+
+        ``None`` when no balancer is attached or the scheme keeps no flow
+        table (stateless schemes like RPS/Presto).  This keeps samplers
+        (the flight recorder) free of scheme-specific attribute access.
+        """
+        table = getattr(self.lb, "table", None)
+        if table is None:
+            return None
+        m_short = getattr(table, "m_short", None)
+        m_long = getattr(table, "m_long", None)
+        if m_short is None or m_long is None:
+            return None
+        return int(m_short), int(m_long)

@@ -15,11 +15,20 @@ and makes whole runs self-describing:
 * :func:`build_manifest` / :func:`write_manifest` — ``manifest.json``
   beside every export, recording exactly what produced it;
 * :class:`ProgressReporter` — heartbeat + ETA for multi-run sweeps;
-* :func:`summarize_trace` — aggregate a JSONL trace back into tables.
+* :func:`summarize_trace` — aggregate a JSONL trace back into tables;
+* :class:`FlightRecorder` / :class:`RecordedRun` — bounded in-sim
+  time-series sampling with a q_th decision audit (``repro run
+  --record``, ``repro report``);
+* :func:`render_html_report` — self-contained HTML dashboards;
+* :func:`diff_paths` / :func:`format_diff` — direction-aware metric
+  regression detection (``repro diff``).
 """
 
+from repro.obs.diff import MetricDelta, diff_paths, diff_rows, format_diff, load_rows
 from repro.obs.manifest import MANIFEST_NAME, build_manifest, git_sha, write_manifest
 from repro.obs.progress import ProgressReporter
+from repro.obs.recorder import FlightRecorder, RecordedRun
+from repro.obs.report import render_html_report, write_html_report
 from repro.obs.summarize import TraceSummary, format_trace_summary, summarize_trace
 from repro.obs.telemetry import RunTelemetry
 from repro.obs.tracers import CountingTracer, JsonlTracer, TeeTracer
@@ -37,4 +46,13 @@ __all__ = [
     "TraceSummary",
     "format_trace_summary",
     "summarize_trace",
+    "FlightRecorder",
+    "RecordedRun",
+    "render_html_report",
+    "write_html_report",
+    "MetricDelta",
+    "load_rows",
+    "diff_rows",
+    "diff_paths",
+    "format_diff",
 ]

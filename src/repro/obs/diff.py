@@ -1,0 +1,211 @@
+"""Metric-by-metric comparison of two runs or sweeps (``repro diff``).
+
+Takes two exports — ``.json`` / ``.csv`` metric tables (from
+:mod:`repro.metrics.export` or the bench writers) or ``.npz`` flight
+recordings (via :meth:`~repro.obs.recorder.RecordedRun.summary_row`) —
+aligns their rows, and compares every shared numeric column.
+
+The comparison is **direction-aware**: FCTs, drops, retransmits, ECN
+marks, deadline misses and queue depths regress when they go *up*;
+goodput, throughput and completion counts regress when they go *down*;
+identity-ish columns (flow counts, sample counts, seeds) are reported
+but never gate.  A change beyond ``tolerance`` (relative) against the
+metric's good direction is a regression, and ``repro diff`` exits
+non-zero — the CI smoke job is exactly ``repro diff baseline current``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["MetricDelta", "load_rows", "diff_rows", "diff_paths", "format_diff"]
+
+#: substrings marking metrics where bigger is better
+_HIGHER_BETTER = ("goodput", "throughput", "utilization", "n_completed")
+#: substrings marking informational columns that never gate
+_NEUTRAL = ("n_flows", "samples", "seed", "horizon", "n_packets", "peak_entries")
+
+
+def metric_direction(name: str) -> int:
+    """+1 if bigger is better, -1 if smaller is better, 0 informational."""
+    low = name.lower()
+    if any(s in low for s in _NEUTRAL) or low.endswith("_n"):
+        return 0
+    if any(s in low for s in _HIGHER_BETTER):
+        return 1
+    return -1
+
+
+@dataclass
+class MetricDelta:
+    """One compared cell: a metric in one aligned row pair."""
+
+    row_key: str
+    metric: str
+    a: Optional[float]
+    b: Optional[float]
+    rel_change: float  # (b - a) / |a|; NaN when not comparable
+    direction: int
+    status: str  # "ok" | "improved" | "regression" | "info"
+
+
+def _coerce(value):
+    """Best-effort numeric view of a cell (CSV gives strings)."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    text = str(value).strip()
+    if not text:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def load_rows(path: str | Path) -> list[dict]:
+    """Load a metrics export as a list of flat row dicts.
+
+    Accepts ``.json`` (array of objects, or one object), ``.csv``
+    (header + rows), and ``.npz`` flight recordings (one summary row).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"no such export: {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".npz":
+        from repro.obs.recorder import RecordedRun
+        return [RecordedRun.load(path).summary_row()]
+    if suffix == ".json":
+        data = json.loads(path.read_text())
+        rows = data if isinstance(data, list) else [data]
+        if not all(isinstance(r, dict) for r in rows):
+            raise ConfigError(f"{path}: expected an array of flat objects")
+        return rows
+    if suffix == ".csv":
+        with path.open(newline="") as fh:
+            return [{k: _coerce(v) for k, v in row.items()}
+                    for row in csv.DictReader(fh)]
+    raise ConfigError(f"unsupported export format {suffix!r} "
+                      "(use .json, .csv, or .npz)")
+
+
+def _row_key(row: dict, index: int) -> str:
+    """Stable alignment key: the row's non-numeric identity columns."""
+    parts = [f"{k}={v}" for k, v in sorted(row.items())
+             if isinstance(_coerce(v), str)]
+    return "; ".join(parts) if parts else f"row[{index}]"
+
+
+def _pair_rows(rows_a: list[dict], rows_b: list[dict]
+               ) -> list[tuple[str, dict, dict]]:
+    keyed_a: dict[str, list[tuple[int, dict]]] = {}
+    for i, row in enumerate(rows_a):
+        keyed_a.setdefault(_row_key(row, i), []).append((i, row))
+    pairs: list[tuple[str, dict, dict]] = []
+    seen: dict[str, int] = {}
+    for i, row_b in enumerate(rows_b):
+        key = _row_key(row_b, i)
+        bucket = keyed_a.get(key, [])
+        n = seen.get(key, 0)
+        if n < len(bucket):
+            seen[key] = n + 1
+            label = key if len(bucket) == 1 else f"{key} #{n}"
+            pairs.append((label, bucket[n][1], row_b))
+    return pairs
+
+
+def diff_rows(rows_a: list[dict], rows_b: list[dict], *,
+              tolerance: float = 0.05) -> list[MetricDelta]:
+    """Compare aligned rows metric-by-metric.
+
+    ``tolerance`` is the relative change (0.05 = 5 %) a gated metric may
+    move in its *bad* direction before counting as a regression.
+    """
+    if tolerance < 0:
+        raise ConfigError("tolerance must be >= 0")
+    pairs = _pair_rows(rows_a, rows_b)
+    if not pairs:
+        raise ConfigError("no rows could be aligned between the two exports "
+                          "(schemes/coordinates do not match)")
+    deltas: list[MetricDelta] = []
+    for key, row_a, row_b in pairs:
+        for metric in sorted(set(row_a) & set(row_b)):
+            va, vb = _coerce(row_a[metric]), _coerce(row_b[metric])
+            if isinstance(va, str) or isinstance(vb, str):
+                continue
+            direction = metric_direction(metric)
+            if va is None or vb is None or (
+                    isinstance(va, float) and math.isnan(va)) or (
+                    isinstance(vb, float) and math.isnan(vb)):
+                deltas.append(MetricDelta(key, metric, va, vb,
+                                          math.nan, direction, "info"))
+                continue
+            va, vb = float(va), float(vb)
+            if va == vb:
+                rel = 0.0
+            elif va != 0.0:
+                rel = (vb - va) / abs(va)
+            else:
+                rel = math.inf if vb > 0 else -math.inf
+            if direction == 0:
+                status = "info"
+            elif rel == 0.0:
+                status = "ok"
+            else:
+                bad = rel > 0 if direction < 0 else rel < 0
+                if not bad:
+                    status = "improved"
+                else:
+                    status = "regression" if abs(rel) > tolerance else "ok"
+            deltas.append(MetricDelta(key, metric, va, vb, rel,
+                                      direction, status))
+    return deltas
+
+
+def diff_paths(path_a: str | Path, path_b: str | Path, *,
+               tolerance: float = 0.05) -> tuple[list[MetricDelta], int]:
+    """Compare two exports; returns (deltas, number of regressions)."""
+    deltas = diff_rows(load_rows(path_a), load_rows(path_b),
+                       tolerance=tolerance)
+    return deltas, sum(1 for d in deltas if d.status == "regression")
+
+
+def format_diff(deltas: list[MetricDelta], *, show_all: bool = False) -> str:
+    """Human-readable diff table: regressions first, then improvements.
+
+    ``show_all`` includes unchanged/ok metrics too.
+    """
+    order = {"regression": 0, "improved": 1, "ok": 2, "info": 3}
+    rows = [d for d in deltas
+            if show_all or d.status in ("regression", "improved")]
+    rows.sort(key=lambda d: (order[d.status], d.row_key, d.metric))
+    n_reg = sum(1 for d in deltas if d.status == "regression")
+    n_imp = sum(1 for d in deltas if d.status == "improved")
+    lines = [f"{len(deltas)} metrics compared: "
+             f"{n_reg} regression(s), {n_imp} improvement(s)"]
+    if not rows:
+        lines.append("no changes beyond tolerance")
+        return "\n".join(lines)
+    header = f"{'status':<11} {'metric':<28} {'A':>12} {'B':>12} {'change':>9}  row"
+    lines += [header, "-" * len(header)]
+    for d in rows:
+        a = "—" if d.a is None or (isinstance(d.a, float) and math.isnan(d.a)) \
+            else f"{d.a:.5g}"
+        b = "—" if d.b is None or (isinstance(d.b, float) and math.isnan(d.b)) \
+            else f"{d.b:.5g}"
+        change = "—" if math.isnan(d.rel_change) else f"{d.rel_change:+.1%}"
+        lines.append(f"{d.status:<11} {d.metric:<28} {a:>12} {b:>12} "
+                     f"{change:>9}  {d.row_key}")
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Self-contained HTML dashboards from flight recordings.
+
+``repro report RUN.npz --html out.html`` turns a
+:class:`~repro.obs.recorder.RecordedRun` into a single HTML file with
+no external resources — every chart is inline SVG built by the
+:mod:`repro.viz` helpers, so the artefact can be attached to a CI run
+or mailed around and still render.
+
+Panels, in reading order:
+
+* run identity (scheme, seed, horizon, sampling cadence);
+* **q_th evolution vs. the Eq. 9 prediction** for the busiest switch —
+  the applied (clamped) threshold against the calculator's raw output,
+  plus a regime breakdown over every audited decision;
+* queue-occupancy heatmap over the recorded ports;
+* fabric throughput and per-port utilisation;
+* ECN-mark / drop / retransmit rates;
+* active short/long flow counts;
+* FCT and queueing-delay distributions with a percentile table.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.recorder import RecordedRun
+from repro.viz import svg_bar_chart, svg_heatmap, svg_line_chart
+
+__all__ = ["render_html_report", "write_html_report"]
+
+_CSS = """
+:root { --viz-ink:#0b0b0b; --viz-muted:#898781; --viz-grid:#e1e0d9;
+        --viz-axis:#c3c2b7; }
+body { font-family: system-ui, sans-serif; color: #0b0b0b;
+       background: #f9f9f7; margin: 0; padding: 24px; }
+main { max-width: 820px; margin: 0 auto; }
+section { background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+          border-radius: 8px; padding: 16px; margin-bottom: 16px; }
+h1 { font-size: 20px; } h2 { font-size: 15px; margin: 0 0 8px; }
+table { border-collapse: collapse; font-size: 12px; }
+td, th { padding: 3px 10px; border-bottom: 1px solid #e1e0d9;
+         text-align: right; font-variant-numeric: tabular-nums; }
+th { color: #52514e; font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+p.note { color: #52514e; font-size: 12px; margin: 6px 0 0; }
+"""
+
+
+def _fmt_cell(v) -> str:
+    if v is None:
+        return "—"
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "—"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def _table(headers: list[str], rows: list[list]) -> str:
+    head = "".join(f"<th>{h}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_fmt_cell(c)}</td>" for c in row) + "</tr>"
+        for row in rows)
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _qth_panel(run: RecordedRun) -> str:
+    """The q_th-vs-Eq.-9 audit panel (empty-state aware)."""
+    switches = run.audit_switches()
+    if not switches:
+        return ('<section id="panel-qth"><h2>q_th vs. Eq. 9</h2>'
+                "<p class='note'>No granularity decisions were audited "
+                "(non-TLB scheme, or fixed q_th).</p></section>")
+    # Busiest switch = most audited decisions; its applied threshold
+    # against the calculator's raw Eq. 9 output shows the clamping.
+    counts = {s: int(np.sum(run.data["audit_switch_idx"] == i))
+              for i, s in enumerate(switches)}
+    star = max(switches, key=lambda s: counts[s])
+    audit = run.audit(star)
+    chart = svg_line_chart(
+        [("q_th (applied)", audit["t"], audit["qth"].astype(float)),
+         ("Eq. 9 raw", audit["t"], audit["raw"])],
+        title=f"q_th evolution vs. Eq. 9 prediction — {star}",
+        y_label="packets")
+    regimes = Counter(str(r) for r in run.audit()["regime"])
+    regime_bars = svg_bar_chart(
+        sorted(regimes.items()), height=160,
+        title="Decision regimes (all switches)", y_label="decisions")
+    n_total = int(run.data["audit_t"].size)
+    note = (f"<p class='note'>{n_total} decisions audited across "
+            f"{len(switches)} switch(es); showing {star} "
+            f"({counts[star]} decisions). Inputs (m_S, m_L, load, RTT) "
+            f"for every decision are in the recording's audit arrays.</p>")
+    return (f'<section id="panel-qth"><h2>q_th vs. Eq. 9</h2>'
+            f"{chart}{regime_bars}{note}</section>")
+
+
+def _hist_panel(run: RecordedRun) -> str:
+    names = [("fct_short", "Short-flow FCT (s)"),
+             ("fct_long", "Long-flow FCT (s)"),
+             ("queue_wait", "Queueing delay (s)")]
+    parts = ['<section id="panel-dist"><h2>Latency distributions</h2>']
+    rows = []
+    for key, label in names:
+        h = run.histogram(key)
+        rows.append([label, h.count, h.mean(), h.percentile(50),
+                     h.percentile(95), h.percentile(99)])
+        if h.n_buckets:
+            bars = [(f"{lo:.3g}", float(c)) for lo, _, c in h.bucket_table()]
+            parts.append(svg_bar_chart(bars, height=160, title=label,
+                                       y_label="count", x_label="bucket low edge (s)"))
+    parts.append(_table(["distribution", "n", "mean", "p50", "p95", "p99"], rows))
+    parts.append("</section>")
+    return "".join(parts)
+
+
+def render_html_report(run: RecordedRun, *, source: str = "") -> str:
+    """Render one recording as a self-contained HTML document."""
+    meta = run.meta
+    t = run.times
+    t_lo = float(t[0]) if t.size else 0.0
+    t_hi = float(t[-1]) if t.size else 1.0
+    mid = run.mid_times()
+
+    head_rows = [[k, _fmt_cell(meta.get(k))] for k in
+                 ("scheme", "seed", "horizon_s", "cadence_s",
+                  "cadence_final_s", "n_samples", "version")]
+    if source:
+        head_rows.append(["source", source])
+
+    queue_heat = svg_heatmap(
+        run.qdepth.T, run.port_names, x_lo=t_lo, x_hi=t_hi,
+        title="Queue occupancy (packets)", value_label=" pkts")
+
+    perf_parts = []
+    if mid.size:
+        perf_parts.append(svg_line_chart(
+            [("throughput", mid, run.throughput_bps() / 1e9)],
+            title="Fabric throughput", y_label="Gbit/s"))
+        util = run.utilization()
+        perf_parts.append(svg_heatmap(
+            util.T, run.port_names, x_lo=t_lo, x_hi=t_hi,
+            title="Link utilisation", value_label=""))
+        perf_parts.append(svg_line_chart(
+            [("ECN marks", mid, run.rate_per_second("ecn_marked")),
+             ("drops", mid, run.rate_per_second("drops")),
+             ("retransmits", mid, run.rate_per_second("retransmits"))],
+            title="Congestion signals", y_label="events/s"))
+    flows_chart = svg_line_chart(
+        [("short", t, run.data["active_short"].astype(float)),
+         ("long", t, run.data["active_long"].astype(float))],
+        title="Active flows", y_label="flows") if t.size else ""
+
+    title = f"repro run report — {meta.get('scheme', '?')}"
+    return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{title}</title><style>{_CSS}</style></head>
+<body><main>
+<h1>{title}</h1>
+<section><h2>Run</h2>{_table(["field", "value"], head_rows)}</section>
+{_qth_panel(run)}
+<section id="panel-queues"><h2>Queues</h2>{queue_heat}</section>
+<section id="panel-perf"><h2>Throughput &amp; congestion</h2>
+{"".join(perf_parts)}{flows_chart}</section>
+{_hist_panel(run)}
+</main></body></html>
+"""
+
+
+def write_html_report(run: RecordedRun, path: str | Path, *,
+                      source: str = "") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_html_report(run, source=source), encoding="utf-8")
+    return path

@@ -8,6 +8,7 @@ time span.  Powers ``repro trace summarize``.
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections import Counter
 from dataclasses import dataclass, field
@@ -39,8 +40,19 @@ class TraceSummary:
         return dict(sorted(items, key=lambda kv: (-kv[1], kv[0])))
 
 
+def _open_trace(path: Path):
+    """Open a trace file for reading, transparently decompressing ``.gz``."""
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open()
+
+
 def summarize_trace(path: str | Path) -> TraceSummary:
     """Stream one JSONL trace file into a :class:`TraceSummary`.
+
+    Accepts both plain ``.jsonl`` files and gzip-compressed
+    ``.jsonl.gz`` files (as written by
+    :class:`~repro.obs.tracers.JsonlTracer`).
 
     Raises
     ------
@@ -55,7 +67,7 @@ def summarize_trace(path: str | Path) -> TraceSummary:
     n = 0
     t_min: Optional[float] = None
     t_max: Optional[float] = None
-    with path.open() as fh:
+    with _open_trace(path) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:

@@ -9,6 +9,7 @@ flip ``enabled`` and pay only for what they keep.
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections import Counter
 from pathlib import Path
@@ -42,6 +43,10 @@ class JsonlTracer(Tracer):
     thrash the disk.  Call :meth:`close` (or use the tracer as a context
     manager) to flush the tail.
 
+    A path ending in ``.gz`` (e.g. ``run.jsonl.gz``) is written
+    gzip-compressed, so long flight-recorded runs don't blow up disk;
+    ``repro trace summarize`` reads both forms transparently.
+
     Parameters
     ----------
     path:
@@ -70,7 +75,10 @@ class JsonlTracer(Tracer):
         self.records_written = 0
         self._buffer: list[str] = []
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh: Optional[IO[str]] = self.path.open("w")
+        if self.path.suffix == ".gz":
+            self._fh: Optional[IO[str]] = gzip.open(self.path, "wt", encoding="utf-8")
+        else:
+            self._fh = self.path.open("w")
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         if self.kinds is not None and kind not in self.kinds:

@@ -60,6 +60,18 @@ class PeriodicTimer:
         """Whether the timer will fire again."""
         return self._event is not None and self._event is not _CANCELLED
 
+    def set_interval(self, interval: float) -> None:
+        """Change the period; takes effect at the next re-arm.
+
+        The pending firing (if any) keeps its scheduled time — only the
+        gap *after* it uses the new interval.  This is what adaptive
+        samplers (the flight recorder's cap-and-decimate ring) need:
+        no events are cancelled or duplicated, so determinism holds.
+        """
+        if interval <= 0:
+            raise ConfigError(f"timer interval must be positive, got {interval!r}")
+        self.interval = float(interval)
+
     def _fire(self) -> None:
         self._event = None
         self.ticks += 1

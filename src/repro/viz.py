@@ -1,10 +1,19 @@
-"""Plain-text rendering helpers for terminal output.
+"""Rendering helpers: monospace text for terminals, inline SVG for reports.
 
 No plotting dependencies are available offline, so the examples render
 series and distributions as monospace text: sparklines for time series,
 horizontal bars for per-category magnitudes, and a fixed-grid CDF.
 These are deliberately unstyled (no colour, pure ASCII/Unicode blocks)
 so they survive logs and CI output.
+
+The ``svg_*`` builders produce self-contained inline SVG fragments for
+the flight-recorder HTML reports (``repro report --html``): line charts,
+one-hue sequential heatmaps, and bar charts.  They are pure string
+construction — no JavaScript, no external assets — so a report is a
+single portable file.  Colours follow a CVD-validated palette: a fixed
+categorical slot order (never cycled), a single-hue light→dark ramp for
+magnitude, and recessive ink/grid tokens, with CSS-variable hooks
+(``--viz-ink`` etc.) so a host page can restyle them.
 """
 
 from __future__ import annotations
@@ -14,7 +23,9 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["sparkline", "hbar_chart", "cdf_plot"]
+__all__ = ["sparkline", "hbar_chart", "cdf_plot",
+           "VIZ_SERIES_COLORS", "svg_line_chart", "svg_heatmap",
+           "svg_bar_chart"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -109,3 +120,284 @@ def cdf_plot(
     if label:
         lines.append(f"      {label}")
     return "\n".join(lines)
+
+
+# -- inline SVG builders (flight-recorder HTML reports) ----------------------
+
+#: categorical series colours in fixed slot order (CVD-validated adjacency;
+#: never cycle past the list — fold extra series instead)
+VIZ_SERIES_COLORS = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+
+#: one-hue (blue) light→dark sequential ramp for magnitude encodings
+_SEQ_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+_INK = "var(--viz-ink, #0b0b0b)"
+_MUTED = "var(--viz-muted, #898781)"
+_GRID = "var(--viz-grid, #e1e0d9)"
+_AXIS = "var(--viz-axis, #c3c2b7)"
+_FONT = 'font-family="system-ui, sans-serif"'
+
+
+def _fmt(v: float) -> str:
+    """Compact tick label."""
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-3:
+        return f"{v:.2g}"
+    return f"{v:.4g}"
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _finite_bounds(arrays: Sequence[np.ndarray]) -> tuple[float, float]:
+    vals = np.concatenate([a[np.isfinite(a)] for a in arrays]) if arrays else np.zeros(0)
+    if vals.size == 0:
+        return 0.0, 1.0
+    lo, hi = float(vals.min()), float(vals.max())
+    if lo == hi:
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def svg_line_chart(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 720,
+    height: int = 240,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "time (s)",
+) -> str:
+    """A multi-series line chart as an inline SVG string.
+
+    ``series`` is ``[(label, xs, ys), ...]``; non-finite y values break
+    the line into segments.  Colours follow the fixed categorical slot
+    order; a legend renders whenever there are two or more series (a
+    single series is named by the title).
+    """
+    ml, mr, mt, mb = 58, 14, 30, 40
+    pw, ph = width - ml - mr, height - mt - mb
+    xs_list = [np.asarray(xs, dtype=float) for _, xs, _ in series]
+    ys_list = [np.asarray(ys, dtype=float) for _, _, ys in series]
+    x_lo, x_hi = _finite_bounds(xs_list)
+    y_lo, y_hi = _finite_bounds(ys_list)
+    if y_lo > 0 and y_lo / max(y_hi, 1e-30) < 0.4:
+        y_lo = 0.0  # anchor near-zero-based series at zero
+
+    def sx(x: float) -> float:
+        return ml + (x - x_lo) / (x_hi - x_lo) * pw
+
+    def sy(y: float) -> float:
+        return mt + (1.0 - (y - y_lo) / (y_hi - y_lo)) * ph
+
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+           f'width="{width}" height="{height}" role="img" aria-label="{_esc(title)}">']
+    if title:
+        out.append(f'<text x="{ml}" y="18" {_FONT} font-size="13" font-weight="600" '
+                   f'fill="{_INK}">{_esc(title)}</text>')
+    # gridlines + y ticks
+    for i in range(5):
+        y = y_lo + (y_hi - y_lo) * i / 4
+        py = sy(y)
+        out.append(f'<line x1="{ml}" y1="{py:.1f}" x2="{ml + pw}" y2="{py:.1f}" '
+                   f'stroke="{_GRID}" stroke-width="1"/>')
+        out.append(f'<text x="{ml - 6}" y="{py + 4:.1f}" {_FONT} font-size="10" '
+                   f'fill="{_MUTED}" text-anchor="end">{_fmt(y)}</text>')
+    # x ticks
+    for i in range(5):
+        x = x_lo + (x_hi - x_lo) * i / 4
+        px = sx(x)
+        out.append(f'<text x="{px:.1f}" y="{mt + ph + 16}" {_FONT} font-size="10" '
+                   f'fill="{_MUTED}" text-anchor="middle">{_fmt(x)}</text>')
+    # baseline
+    out.append(f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" y2="{mt + ph}" '
+               f'stroke="{_AXIS}" stroke-width="1"/>')
+    if x_label:
+        out.append(f'<text x="{ml + pw / 2:.1f}" y="{height - 8}" {_FONT} '
+                   f'font-size="11" fill="{_MUTED}" text-anchor="middle">'
+                   f'{_esc(x_label)}</text>')
+    if y_label:
+        out.append(f'<text x="14" y="{mt + ph / 2:.1f}" {_FONT} font-size="11" '
+                   f'fill="{_MUTED}" text-anchor="middle" '
+                   f'transform="rotate(-90 14 {mt + ph / 2:.1f})">{_esc(y_label)}</text>')
+    # series polylines (segments split at non-finite values)
+    for i, (label, _, _) in enumerate(series):
+        color = VIZ_SERIES_COLORS[i % len(VIZ_SERIES_COLORS)]
+        xs, ys = xs_list[i], ys_list[i]
+        seg: list[str] = []
+        for x, y in zip(xs, ys):
+            if math.isfinite(x) and math.isfinite(y):
+                seg.append(f"{sx(x):.1f},{sy(y):.1f}")
+            elif seg:
+                out.append(f'<polyline points="{" ".join(seg)}" fill="none" '
+                           f'stroke="{color}" stroke-width="2"/>')
+                seg = []
+        if seg:
+            out.append(f'<polyline points="{" ".join(seg)}" fill="none" '
+                       f'stroke="{color}" stroke-width="2">'
+                       f'<title>{_esc(label)}</title></polyline>')
+    # legend (two or more series only)
+    if len(series) >= 2:
+        lx = ml + 8
+        for i, (label, _, _) in enumerate(series):
+            color = VIZ_SERIES_COLORS[i % len(VIZ_SERIES_COLORS)]
+            out.append(f'<rect x="{lx}" y="{mt - 6}" width="10" height="3" '
+                       f'fill="{color}"/>')
+            out.append(f'<text x="{lx + 14}" y="{mt - 1}" {_FONT} font-size="10" '
+                       f'fill="{_INK}">{_esc(label)}</text>')
+            lx += 22 + 6 * len(str(label))
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def svg_heatmap(
+    matrix,
+    row_labels: Sequence[str],
+    *,
+    x_lo: float = 0.0,
+    x_hi: float = 1.0,
+    width: int = 720,
+    cell_h: int = 16,
+    max_cols: int = 240,
+    title: str = "",
+    x_label: str = "time (s)",
+    value_label: str = "",
+) -> str:
+    """A (rows × time) magnitude heatmap on the one-hue sequential ramp.
+
+    Wide matrices are mean-pooled down to ``max_cols`` columns so the
+    file stays small.  Each cell carries a ``<title>`` tooltip with its
+    row, time, and value.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.size == 0:
+        return "<svg xmlns='http://www.w3.org/2000/svg' width='10' height='10'/>"
+    n_rows, n_cols = m.shape
+    if n_cols > max_cols:
+        edges = np.linspace(0, n_cols, max_cols + 1).astype(int)
+        m = np.stack([m[:, a:b].mean(axis=1) for a, b in zip(edges[:-1], edges[1:])],
+                     axis=1)
+        n_cols = max_cols
+    ml, mt, mb = 120, 30, 40
+    pw = width - ml - 14
+    cw = pw / n_cols
+    height = mt + n_rows * cell_h + mb
+    vmax = float(np.nanmax(m)) if np.isfinite(m).any() else 0.0
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+           f'width="{width}" height="{height}" role="img" aria-label="{_esc(title)}">']
+    if title:
+        out.append(f'<text x="{ml}" y="18" {_FONT} font-size="13" font-weight="600" '
+                   f'fill="{_INK}">{_esc(title)}</text>')
+    for r in range(n_rows):
+        y = mt + r * cell_h
+        out.append(f'<text x="{ml - 6}" y="{y + cell_h / 2 + 3:.1f}" {_FONT} '
+                   f'font-size="10" fill="{_MUTED}" text-anchor="end">'
+                   f'{_esc(row_labels[r])}</text>')
+        for c in range(n_cols):
+            v = m[r, c]
+            if not math.isfinite(v):
+                continue
+            idx = 0 if vmax <= 0 else int(round(v / vmax * (len(_SEQ_RAMP) - 1)))
+            t = x_lo + (x_hi - x_lo) * (c + 0.5) / n_cols
+            out.append(
+                f'<rect x="{ml + c * cw:.2f}" y="{y}" width="{cw + 0.5:.2f}" '
+                f'height="{cell_h - 1}" fill="{_SEQ_RAMP[idx]}">'
+                f'<title>{_esc(row_labels[r])} t={t:.4g}s: '
+                f'{v:.4g}{_esc(value_label)}</title></rect>')
+    for i in range(5):
+        x = x_lo + (x_hi - x_lo) * i / 4
+        px = ml + pw * i / 4
+        out.append(f'<text x="{px:.1f}" y="{mt + n_rows * cell_h + 14}" {_FONT} '
+                   f'font-size="10" fill="{_MUTED}" text-anchor="middle">{_fmt(x)}</text>')
+    if x_label:
+        out.append(f'<text x="{ml + pw / 2:.1f}" y="{height - 8}" {_FONT} '
+                   f'font-size="11" fill="{_MUTED}" text-anchor="middle">'
+                   f'{_esc(x_label)}</text>')
+    # compact ramp legend: low → high
+    lx = width - 150
+    for i, color in enumerate(_SEQ_RAMP):
+        out.append(f'<rect x="{lx + i * 8}" y="10" width="8" height="8" '
+                   f'fill="{color}"/>')
+    out.append(f'<text x="{lx - 6}" y="18" {_FONT} font-size="9" fill="{_MUTED}" '
+               f'text-anchor="end">0</text>')
+    out.append(f'<text x="{lx + len(_SEQ_RAMP) * 8 + 4}" y="18" {_FONT} '
+               f'font-size="9" fill="{_MUTED}">{_fmt(vmax)}</text>')
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def svg_bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 720,
+    height: int = 200,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Vertical bars (one categorical hue), with per-bar tooltips.
+
+    Bars are baseline-anchored with a small rounded data-end and a 2px
+    gap between neighbours; sparse x labels avoid collisions.
+    """
+    ml, mr, mt, mb = 58, 14, 30, 40
+    pw, ph = width - ml - mr, height - mt - mb
+    n = len(items)
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+           f'width="{width}" height="{height}" role="img" aria-label="{_esc(title)}">']
+    if title:
+        out.append(f'<text x="{ml}" y="18" {_FONT} font-size="13" font-weight="600" '
+                   f'fill="{_INK}">{_esc(title)}</text>')
+    if n:
+        vmax = max((v for _, v in items if math.isfinite(v)), default=0.0)
+        bw = max(1.0, pw / n - 2)
+        for i in range(5):
+            y = vmax * i / 4
+            py = mt + ph * (1 - i / 4)
+            out.append(f'<line x1="{ml}" y1="{py:.1f}" x2="{ml + pw}" y2="{py:.1f}" '
+                       f'stroke="{_GRID}" stroke-width="1"/>')
+            out.append(f'<text x="{ml - 6}" y="{py + 4:.1f}" {_FONT} font-size="10" '
+                       f'fill="{_MUTED}" text-anchor="end">{_fmt(y)}</text>')
+        label_every = max(1, n // 8)
+        for i, (label, v) in enumerate(items):
+            if not math.isfinite(v) or vmax <= 0:
+                continue
+            h = v / vmax * ph
+            x = ml + i * (pw / n) + 1
+            out.append(
+                f'<rect x="{x:.2f}" y="{mt + ph - h:.2f}" width="{bw:.2f}" '
+                f'height="{h:.2f}" rx="2" fill="{VIZ_SERIES_COLORS[0]}">'
+                f'<title>{_esc(label)}: {v:.4g}</title></rect>')
+            if i % label_every == 0:
+                out.append(f'<text x="{x + bw / 2:.1f}" y="{mt + ph + 14}" {_FONT} '
+                           f'font-size="9" fill="{_MUTED}" text-anchor="middle">'
+                           f'{_esc(label)}</text>')
+    out.append(f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" y2="{mt + ph}" '
+               f'stroke="{_AXIS}" stroke-width="1"/>')
+    if y_label:
+        out.append(f'<text x="14" y="{mt + ph / 2:.1f}" {_FONT} font-size="11" '
+                   f'fill="{_MUTED}" text-anchor="middle" '
+                   f'transform="rotate(-90 14 {mt + ph / 2:.1f})">{_esc(y_label)}</text>')
+    if x_label:
+        out.append(f'<text x="{ml + pw / 2:.1f}" y="{height - 8}" {_FONT} '
+                   f'font-size="11" fill="{_MUTED}" text-anchor="middle">'
+                   f'{_esc(x_label)}</text>')
+    out.append("</svg>")
+    return "\n".join(out)

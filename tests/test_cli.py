@@ -129,3 +129,65 @@ def test_version_flag(capsys):
     with pytest.raises(SystemExit) as exc:
         build_parser().parse_args(["--version"])
     assert exc.value.code == 0
+
+
+# -- flight recorder commands ------------------------------------------------
+
+def test_run_record_then_report_html(capsys, tmp_path):
+    rec_path = tmp_path / "run.npz"
+    html_path = tmp_path / "out.html"
+    assert main(["run", "--scheme", "tlb", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--record", str(rec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "samples" in out and rec_path.exists()
+    assert main(["report", str(rec_path), "--html", str(html_path)]) == 0
+    html = html_path.read_text(encoding="utf-8")
+    assert 'id="panel-qth"' in html and "Eq. 9" in html
+    # summary-only mode prints the flat row
+    assert main(["report", str(rec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fct_short_p99_s" in out
+
+
+def test_diff_command_exit_codes(capsys, tmp_path):
+    import json
+
+    base = {"scheme": "tlb", "short_fct_p99_s": 0.010, "long_goodput_bps": 1e9}
+    regressed = dict(base, short_fct_p99_s=0.011)  # +10 %
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    a.write_text(json.dumps([base]))
+    b.write_text(json.dumps([regressed]))
+    assert main(["diff", str(a), str(a)]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+    assert main(["diff", str(a), str(b)]) == 1
+    assert "short_fct_p99_s" in capsys.readouterr().out
+    # a loose tolerance passes the same pair
+    assert main(["diff", str(a), str(b), "--tolerance", "15"]) == 0
+
+
+def test_record_flags_parse_with_defaults():
+    args = build_parser().parse_args(["run", "--record", "r.npz"])
+    assert args.record == "r.npz"
+    assert args.record_cadence == pytest.approx(500e-6)
+    assert args.record_max_samples == 4096
+
+
+def test_bench_command_emits_json_and_report(capsys, tmp_path):
+    import json
+
+    json_path = tmp_path / "BENCH.json"
+    html_path = tmp_path / "bench.html"
+    rec_path = tmp_path / "bench.npz"
+    assert main(["bench", "--schemes", "ecmp", "tlb",
+                 "--json", str(json_path), "--html", str(html_path),
+                 "--record", str(rec_path)]) == 0
+    rows = json.loads(json_path.read_text())
+    assert [r["scheme"] for r in rows] == ["ecmp", "tlb"]
+    for row in rows:
+        assert row["short_fct_p99_s"] > 0
+        assert row["extra_wall_time_s"] > 0
+    assert rec_path.exists()
+    assert 'id="panel-qth"' in html_path.read_text(encoding="utf-8")
+    # bench rows are diffable against themselves
+    assert main(["diff", str(json_path), str(json_path)]) == 0

@@ -1,0 +1,122 @@
+"""Tests for the constant-memory log-bucketed histogram."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.histogram import LogHistogram
+
+
+def test_empty_histogram_reads_nan():
+    h = LogHistogram()
+    assert math.isnan(h.percentile(50))
+    assert math.isnan(h.mean())
+    assert h.count == 0 and h.n_buckets == 0
+
+
+def test_single_value_percentiles_are_that_value():
+    h = LogHistogram()
+    h.observe(0.003)
+    for p in (0, 50, 100):
+        assert h.percentile(p) == pytest.approx(0.003, rel=0.3)
+    # clamping to [min, max] makes the single-sample case exact
+    assert h.percentile(99) == pytest.approx(0.003)
+
+
+def test_percentiles_track_numpy_within_bucket_width():
+    rng = np.random.default_rng(7)
+    xs = rng.lognormal(mean=-7.0, sigma=1.5, size=5000)
+    h = LogHistogram(bins_per_decade=20)
+    h.observe_many(xs)
+    for p in (10, 50, 90, 99):
+        exact = float(np.percentile(xs, p))
+        # one bucket width at 20/decade is ~12 % relative
+        assert h.percentile(p) == pytest.approx(exact, rel=0.15)
+    assert h.mean() == pytest.approx(float(xs.mean()))
+    assert h.count == 5000
+
+
+def test_zero_mass_reads_back_as_zero():
+    h = LogHistogram()
+    for _ in range(60):
+        h.observe(0.0)
+    for _ in range(40):
+        h.observe(1.0)
+    assert h.percentile(50) == 0.0
+    assert h.percentile(80) == pytest.approx(1.0, rel=0.3)
+    assert h.n_zero == 60
+
+
+def test_values_below_min_value_clamp_into_first_bucket():
+    h = LogHistogram(min_value=1e-6)
+    h.observe(1e-9)
+    assert h.n_buckets == 1
+    assert 0 in h._counts
+
+
+def test_rejects_non_finite_and_bad_params():
+    h = LogHistogram()
+    with pytest.raises(ConfigError):
+        h.observe(math.nan)
+    with pytest.raises(ConfigError):
+        h.observe(math.inf)
+    with pytest.raises(ConfigError):
+        LogHistogram(bins_per_decade=0)
+    with pytest.raises(ConfigError):
+        LogHistogram(min_value=0.0)
+    with pytest.raises(ConfigError):
+        h.percentile(101)
+
+
+def test_memory_is_bounded_by_dynamic_range_not_count():
+    h = LogHistogram(bins_per_decade=10)
+    rng = np.random.default_rng(1)
+    h.observe_many(rng.uniform(1e-6, 1e-3, size=20_000))
+    # three decades at 10 bins/decade, regardless of 20k observations
+    assert h.n_buckets <= 31
+
+
+def test_merge_combines_counts_and_extremes():
+    a, b = LogHistogram(), LogHistogram()
+    a.observe_many([1e-4, 2e-4])
+    b.observe_many([5e-3, 0.0])
+    a.merge(b)
+    assert a.count == 4 and a.n_zero == 1
+    assert a.min == 0.0 and a.max == 5e-3
+    with pytest.raises(ConfigError):
+        a.merge(LogHistogram(bins_per_decade=5))
+
+
+def test_array_roundtrip_preserves_readout():
+    h = LogHistogram(bins_per_decade=15, min_value=1e-7)
+    rng = np.random.default_rng(3)
+    h.observe_many(rng.lognormal(-8, 1, size=500))
+    h.observe(0.0)
+    arrays = h.to_arrays()
+    back = LogHistogram.from_arrays(arrays["buckets"], arrays["counts"],
+                                    arrays["meta"])
+    assert back.count == h.count and back.n_zero == h.n_zero
+    assert back.min == h.min and back.max == h.max
+    for p in (25, 50, 95):
+        assert back.percentile(p) == h.percentile(p)
+
+
+def test_empty_roundtrip():
+    arrays = LogHistogram().to_arrays()
+    back = LogHistogram.from_arrays(arrays["buckets"], arrays["counts"],
+                                    arrays["meta"])
+    assert back.count == 0
+    assert math.isnan(back.percentile(50))
+
+
+def test_bucket_table_edges_are_geometric():
+    h = LogHistogram(bins_per_decade=1, min_value=1e-3)
+    h.observe_many([2e-3, 3e-2])
+    table = h.bucket_table()
+    assert len(table) == 2
+    (lo0, hi0, c0), (lo1, hi1, c1) = table
+    assert lo0 == pytest.approx(1e-3) and hi0 == pytest.approx(1e-2)
+    assert lo1 == pytest.approx(1e-2) and hi1 == pytest.approx(1e-1)
+    assert c0 == 1 and c1 == 1

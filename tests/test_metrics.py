@@ -213,3 +213,52 @@ def test_jain_index_skewed():
 def test_jain_index_edge_cases():
     assert math.isnan(jain_index([]))
     assert jain_index([0, 0]) == 1.0
+
+
+# -- BinnedSeries float-edge regression --------------------------------------
+
+def test_binned_series_division_rounding_up_is_corrected():
+    # 3.4999999999999996 / 0.7 floats to exactly 5.0, but the float
+    # edge 5 * 0.7 = 3.5000000000000004 lies ABOVE the sample — plain
+    # truncation would file it one bin too high.
+    t, w = 3.4999999999999996, 0.7
+    assert int(t / w) == 5 and 5 * w > t  # the trap this test pins down
+    s = BinnedSeries(w)
+    s.add(t)
+    assert len(s) == 5
+    assert s.counts[4] == 1
+
+
+def test_binned_series_division_rounding_down_is_corrected():
+    # 141.29999999999998 / 0.3 floats just below 471 although the float
+    # edge 471 * 0.3 equals the sample exactly — left-closed bins must
+    # file it in bin 471, one ABOVE the truncated index.
+    t, w = 141.29999999999998, 0.3
+    assert int(t / w) == 470 and 471 * w <= t
+    s = BinnedSeries(w)
+    s.add(t)
+    assert len(s) == 472
+    assert s.counts[471] == 1
+
+
+def test_binned_series_exact_float_edges_are_left_closed():
+    s = BinnedSeries(0.25)  # exactly representable width
+    for t, expected_bin in ((0.0, 0), (0.25, 1), (0.5, 2), (0.75, 3)):
+        s.add(t)
+        assert s.counts[expected_bin] >= 1, t
+    assert len(s) == 4
+
+
+def test_binned_series_edge_grid_is_total():
+    # Every sample lands in the bin whose float edges bracket it.
+    for width in (0.01, 0.1, 0.3, 1e-4):
+        s = BinnedSeries(width)
+        for k in range(200):
+            s.add(k * width)
+        # bins collectively hold every sample
+        assert int(s.counts.sum()) == 200
+        # and each occupied bin's edges really bracket its centre time
+        for i in np.flatnonzero(s.counts):
+            lo = s.start + i * width
+            hi = s.start + (i + 1) * width
+            assert lo <= s.times[i] < hi

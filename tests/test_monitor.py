@@ -105,3 +105,40 @@ def test_ecmp_less_balanced_than_rps_in_monitor():
         return imb.mean() if imb.size else 0.0
 
     assert spread("rps") < spread("ecmp")
+
+
+# -- bounded memory (cap + decimation) ---------------------------------------
+
+def test_monitor_caps_memory_by_decimating(sim, sink):
+    port = make_port(sim, sink)
+    mon = QueueMonitor(sim, [port], period=0.001, max_samples=16)
+    sim.run(until=1.0)
+    # ~1000 sample opportunities, yet storage stays under the cap
+    assert mon.n_samples < 16
+    assert mon.stride > 1
+    times = mon.times
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert mon.matrix().shape == (mon.n_samples, 1)
+
+
+def test_monitor_decimation_keeps_uniform_spacing(sim, sink):
+    port = make_port(sim, sink)
+    mon = QueueMonitor(sim, [port], period=0.01, max_samples=8)
+    sim.run(until=2.0)
+    deltas = {round(b - a, 9) for a, b in zip(mon.times, mon.times[1:])}
+    # after k decimations the surviving rows are stride*period apart
+    assert len(deltas) == 1
+    assert deltas.pop() == pytest.approx(mon.stride * 0.01)
+
+
+def test_monitor_unbounded_when_cap_disabled(sim, sink):
+    port = make_port(sim, sink)
+    mon = QueueMonitor(sim, [port], period=0.001, max_samples=None)
+    sim.run(until=0.1005)
+    assert mon.n_samples == 100
+    assert mon.stride == 1
+
+
+def test_monitor_rejects_tiny_cap(sim, sink):
+    with pytest.raises(ConfigError):
+        QueueMonitor(sim, [make_port(sim, sink)], period=0.1, max_samples=1)

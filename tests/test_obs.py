@@ -349,3 +349,56 @@ def test_scenario_trace_and_telemetry_end_to_end(tmp_path):
     assert summary.n_records == counters.total() > 0
     assert summary.by_kind == counters.totals()
     assert "enqueue" in summary.by_kind
+
+
+# -- gzip trace support ------------------------------------------------------
+
+def test_jsonl_tracer_gzip_by_suffix(tmp_path):
+    import gzip
+    import json
+
+    from repro.obs import JsonlTracer
+
+    path = tmp_path / "t.jsonl.gz"
+    with JsonlTracer(path) as t:
+        t.emit(0.0, "enqueue", port="a", qlen=1)
+        t.emit(0.5, "drop", port="b")
+    # really gzip on disk (magic bytes), and records round-trip
+    assert path.read_bytes()[:2] == b"\x1f\x8b"
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        records = [json.loads(line) for line in fh]
+    assert [r["kind"] for r in records] == ["enqueue", "drop"]
+    assert records[0]["qlen"] == 1
+
+
+def test_summarize_reads_gzip_and_plain_identically(tmp_path):
+    from repro.obs import JsonlTracer, summarize_trace
+
+    events = [(0.0, "enqueue", {"port": "a"}), (0.1, "enqueue", {"port": "b"}),
+              (0.2, "drop", {"port": "a"})]
+    plain, gz = tmp_path / "t.jsonl", tmp_path / "t.jsonl.gz"
+    for path in (plain, gz):
+        with JsonlTracer(path) as t:
+            for when, kind, fields in events:
+                t.emit(when, kind, **fields)
+    a, b = summarize_trace(plain), summarize_trace(gz)
+    assert a.n_records == b.n_records == 3
+    assert a.by_kind == b.by_kind
+    assert a.by_kind_node == b.by_kind_node
+
+
+def test_gzip_trace_end_to_end_run(tmp_path):
+    from repro.experiments.common import ScenarioConfig, run_scenario
+    from repro.obs import JsonlTracer, summarize_trace
+
+    path = tmp_path / "run.jsonl.gz"
+    tracer = JsonlTracer(path, kinds={"drop", "reroute"})
+    try:
+        run_scenario(ScenarioConfig(
+            scheme="tlb", n_paths=4, hosts_per_leaf=12, n_short=6, n_long=1,
+            long_size=200_000, short_window=0.005, horizon=0.5),
+            tracer=tracer)
+    finally:
+        tracer.close()
+    summary = summarize_trace(path)
+    assert summary.n_records == tracer.records_written

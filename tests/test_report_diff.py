@@ -1,0 +1,159 @@
+"""Tests for HTML run reports and the repro diff regression gate."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import ScenarioConfig, run_scenario
+from repro.obs.diff import diff_paths, diff_rows, format_diff, load_rows, metric_direction
+from repro.obs.recorder import FlightRecorder, RecordedRun
+from repro.obs.report import render_html_report, write_html_report
+
+SMALL = dict(n_paths=4, hosts_per_leaf=12, n_short=8, n_long=1,
+             long_size=400_000, short_window=0.005, horizon=0.5)
+
+
+@pytest.fixture(scope="module")
+def recording(tmp_path_factory):
+    rec = FlightRecorder()
+    run_scenario(ScenarioConfig(scheme="tlb", seed=1, **SMALL), recorder=rec)
+    return rec.save(tmp_path_factory.mktemp("rec") / "run.npz")
+
+
+# -- report -----------------------------------------------------------------
+
+
+def test_html_report_is_self_contained_with_qth_panel(recording, tmp_path):
+    run = RecordedRun.load(recording)
+    html = render_html_report(run)
+    # the acceptance panel: applied q_th against the raw Eq. 9 output
+    assert 'id="panel-qth"' in html
+    assert "Eq. 9" in html and "q_th (applied)" in html
+    for panel in ("panel-queues", "panel-perf", "panel-dist"):
+        assert f'id="{panel}"' in html
+    assert "<svg" in html
+    # single file, no external fetches
+    assert "<script" not in html and "<link" not in html
+    assert "src=" not in html and "href=" not in html
+    out = write_html_report(run, tmp_path / "r.html", source=str(recording))
+    assert out.read_text(encoding="utf-8").startswith("<!doctype html>")
+
+
+def test_report_without_audit_shows_empty_state(tmp_path):
+    rec = FlightRecorder()
+    run_scenario(ScenarioConfig(scheme="ecmp", seed=1, **SMALL), recorder=rec)
+    run = RecordedRun.load(rec.save(tmp_path / "e.npz"))
+    html = render_html_report(run)
+    assert 'id="panel-qth"' in html
+    assert "No granularity decisions" in html
+
+
+# -- diff -------------------------------------------------------------------
+
+
+def _row(**overrides):
+    row = {"scheme": "tlb", "short_fct_p99_s": 0.010, "short_fct_mean_s": 0.004,
+           "long_goodput_bps": 9.0e8, "short_n_flows": 100,
+           "deadline_miss_ratio": 0.02}
+    row.update(overrides)
+    return row
+
+
+def test_metric_directions():
+    assert metric_direction("short_fct_p99_s") == -1
+    assert metric_direction("long_goodput_bps") == 1
+    assert metric_direction("short_n_flows") == 0
+    assert metric_direction("fct_short_n") == 0
+
+
+def test_identical_rows_have_no_regressions():
+    deltas = diff_rows([_row()], [_row()])
+    assert all(d.status in ("ok", "info") for d in deltas)
+
+
+def test_injected_10pct_fct_regression_is_flagged():
+    base, cur = _row(), _row(short_fct_p99_s=0.010 * 1.10)
+    deltas = diff_rows([base], [cur], tolerance=0.05)
+    by_metric = {d.metric: d for d in deltas}
+    assert by_metric["short_fct_p99_s"].status == "regression"
+    assert by_metric["short_fct_p99_s"].rel_change == pytest.approx(0.10)
+    # within tolerance → ok
+    for d in diff_rows([base], [cur], tolerance=0.15):
+        assert d.status != "regression"
+
+
+def test_direction_awareness():
+    faster = _row(short_fct_p99_s=0.005)          # FCT down = good
+    less_goodput = _row(long_goodput_bps=8.0e8)   # goodput down = bad
+    by_metric = {d.metric: d for d in diff_rows([_row()], [faster])}
+    assert by_metric["short_fct_p99_s"].status == "improved"
+    by_metric = {d.metric: d for d in diff_rows([_row()], [less_goodput])}
+    assert by_metric["long_goodput_bps"].status == "regression"
+    # flow counts are informational even when they move
+    by_metric = {d.metric: d for d in diff_rows([_row()], [_row(short_n_flows=90)])}
+    assert by_metric["short_n_flows"].status == "info"
+
+
+def test_rows_align_by_scheme_not_order(tmp_path):
+    rows_a = [_row(scheme="ecmp", short_fct_p99_s=0.02), _row(scheme="tlb")]
+    rows_b = [_row(scheme="tlb", short_fct_p99_s=0.02), _row(scheme="ecmp", short_fct_p99_s=0.02)]
+    deltas = diff_rows(rows_a, rows_b, tolerance=0.05)
+    reg = [d for d in deltas if d.status == "regression"]
+    assert len(reg) == 1
+    assert "scheme=tlb" in reg[0].row_key
+
+
+def test_no_alignment_raises():
+    with pytest.raises(ConfigError):
+        diff_rows([_row(scheme="a")], [_row(scheme="b")])
+
+
+def test_none_and_missing_values_are_informational():
+    deltas = diff_rows([_row(short_fct_p99_s=None)], [_row()])
+    by_metric = {d.metric: d for d in deltas}
+    assert by_metric["short_fct_p99_s"].status == "info"
+
+
+def test_load_rows_json_csv_npz(recording, tmp_path):
+    jpath = tmp_path / "m.json"
+    jpath.write_text(json.dumps([_row()]))
+    assert load_rows(jpath) == [_row()]
+    cpath = tmp_path / "m.csv"
+    with cpath.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=sorted(_row()))
+        writer.writeheader()
+        writer.writerow(_row())
+    [csv_row] = load_rows(cpath)
+    assert csv_row["scheme"] == "tlb"
+    assert csv_row["short_fct_p99_s"] == pytest.approx(0.010)
+    assert csv_row["short_n_flows"] == 100
+    [npz_row] = load_rows(recording)
+    assert npz_row["scheme"] == "tlb"
+    with pytest.raises(ConfigError):
+        load_rows(tmp_path / "missing.json")
+    bad = tmp_path / "bad.txt"
+    bad.write_text("x")
+    with pytest.raises(ConfigError):
+        load_rows(bad)
+
+
+def test_diff_paths_identical_recording_passes(recording):
+    deltas, n_regressions = diff_paths(recording, recording)
+    assert n_regressions == 0
+    assert deltas
+
+
+def test_format_diff_mentions_regression():
+    deltas = diff_rows([_row()], [_row(short_fct_p99_s=0.10)])
+    text = format_diff(deltas)
+    assert "1 regression(s)" in text
+    assert "short_fct_p99_s" in text
+    full = format_diff(deltas, show_all=True)
+    assert len(full.splitlines()) >= len(text.splitlines())
+
+
+def test_diff_rejects_negative_tolerance():
+    with pytest.raises(ConfigError):
+        diff_rows([_row()], [_row()], tolerance=-1)

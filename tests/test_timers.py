@@ -83,3 +83,23 @@ def test_raising_callback_stops_timer(sim):
     # The timer did not re-arm after the exception.
     sim.run(until=2.0)
     assert calls[0] == 1
+
+
+def test_set_interval_takes_effect_at_next_rearm(sim):
+    times = []
+    timer = PeriodicTimer(sim, 0.1, lambda: times.append(sim.now))
+    sim.run(until=0.25)
+    assert times == pytest.approx([0.1, 0.2])
+    timer.set_interval(0.4)
+    # the already-armed firing at 0.3 keeps its time; spacing doubles after
+    sim.run(until=1.2)
+    assert times == pytest.approx([0.1, 0.2, 0.3, 0.7, 1.1])
+    assert timer.interval == 0.4
+
+
+def test_set_interval_rejects_non_positive(sim):
+    timer = PeriodicTimer(sim, 0.1, lambda: None)
+    with pytest.raises(ConfigError):
+        timer.set_interval(0.0)
+    with pytest.raises(ConfigError):
+        timer.set_interval(-1.0)
