@@ -23,7 +23,10 @@ Commands
     exits non-zero on regressions beyond tolerance.
 ``bench``
     CI smoke benchmark: one reduced run per scheme, JSON rows out,
-    optional recorded-run HTML report.
+    optional recorded-run HTML report.  ``bench --micro`` instead runs
+    the hot-path micro-benchmarks (events/sec, packets/sec, determinism
+    checksums) and can compare against a committed baseline
+    (``--baseline``, ``--require-identical``).
 """
 
 from __future__ import annotations
@@ -153,11 +156,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--schemes", nargs="+", default=["ecmp", "rps", "tlb"])
     bench.add_argument("--seed", type=int, default=1)
     bench.add_argument("--json", metavar="FILE",
-                       help="write one flat JSON row per scheme")
+                       help="write one flat JSON row per scheme"
+                       " (micro mode default: BENCH_pr4.json)")
     bench.add_argument("--html", metavar="FILE",
                        help="render the TLB run's recording as HTML here")
     bench.add_argument("--record", metavar="FILE",
                        help="keep the TLB run's recording here (.npz)")
+    bench.add_argument("--micro", action="store_true",
+                       help="run the hot-path micro-benchmarks instead"
+                       " (events/sec, packets/sec, determinism checksums)")
+    bench.add_argument("--micro-scale", type=float, default=1.0, metavar="X",
+                       help="micro mode: workload size multiplier; checksums"
+                       " come from fixed-size probes and do not scale"
+                       " (default 1.0)")
+    bench.add_argument("--repeats", type=int, default=2, metavar="N",
+                       help="micro mode: timing repeats, best-of-N"
+                       " (default 2)")
+    bench.add_argument("--baseline", metavar="FILE",
+                       help="micro mode: compare against this JSON; slower"
+                       " throughput warns on stderr")
+    bench.add_argument("--require-identical", action="store_true",
+                       help="micro mode: with --baseline, exit non-zero if"
+                       " any determinism checksum drifted")
 
     model = sub.add_parser("model", help="evaluate Eq. 9 (no simulation)")
     model.add_argument("--short-flows", type=int, default=100)
@@ -323,9 +343,34 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1 if n_regressions else 0
 
 
+def _cmd_bench_micro(args: argparse.Namespace) -> int:
+    from repro.experiments.microbench import (
+        compare_to_baseline, format_rows, run_microbench,
+        write_microbench_json)
+    from repro.obs.diff import load_rows
+
+    rows = run_microbench(seed=args.seed, scale=args.micro_scale,
+                          repeats=args.repeats)
+    drift: list[str] = []
+    if args.baseline:
+        warnings, drift = compare_to_baseline(rows, load_rows(args.baseline))
+        for line in warnings:
+            print(f"warning: {line}", file=sys.stderr)
+        for line in drift:
+            print(f"DETERMINISM DRIFT: {line}", file=sys.stderr)
+    print(format_rows(rows))
+    json_path = args.json if args.json else "BENCH_pr4.json"
+    print("wrote", write_microbench_json(json_path, rows))
+    if drift and args.require_identical:
+        return 2
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import run_bench, write_bench_json
 
+    if args.micro:
+        return _cmd_bench_micro(args)
     rows = run_bench(args.schemes, seed=args.seed,
                      record_path=args.record, html_path=args.html)
     for row in rows:

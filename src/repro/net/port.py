@@ -14,6 +14,19 @@ serialisation delay ``size * 8 / rate``; the packet is then in flight for
 the propagation ``delay`` and finally delivered to the neighbour node.
 Propagation pipelines (multiple packets can be in flight); serialisation
 does not.
+
+Hot path
+--------
+``enqueue`` and the two transmission callbacks run once per packet per
+hop, which makes them the busiest Python frames of any full-fabric run.
+They avoid re-reading slots in loops, cache the serialisation delay per
+packet size (invalidated when ``rate`` changes), collapse the per-record
+``tracer.enabled`` checks into one cached boolean (kept in sync by the
+``tracer`` property — the shared :class:`~repro.sim.trace.NullTracer`
+costs a single slot read per call), and schedule completion/delivery
+through :meth:`~repro.sim.engine.Simulator.call_later_fast`, which
+allocates no :class:`~repro.sim.engine.Event` (these events are never
+cancelled).
 """
 
 from __future__ import annotations
@@ -36,7 +49,14 @@ _NULL_TRACER = NullTracer()
 
 
 class PortStats:
-    """Counters accumulated by one port over a run."""
+    """Counters accumulated by one port over a run.
+
+    ``busy_time`` is credited when a serialisation *completes* (plus the
+    pre-cut fraction of a packet lost to :meth:`Port.fail`), never in
+    advance; :meth:`Port.busy_time_now` pro-rates the in-progress packet
+    for mid-run samplers.  ``ecn_marked`` counts only marks freshly
+    applied by this port, not packets that arrived already CE-marked.
+    """
 
     __slots__ = (
         "enqueued",
@@ -112,20 +132,23 @@ class Port:
     __slots__ = (
         "sim",
         "name",
-        "rate",
+        "_rate",
         "delay",
         "dst",
         "buffer_packets",
         "ecn_threshold",
-        "tracer",
+        "_tracer",
+        "_trace",
         "_queue",
         "_busy",
         "stats",
         "queue_bytes",
+        "_ser_cache",
         "_loss_rate",
         "_loss_rng",
         "_admin_up",
         "_down_mode",
+        "_tx_start",
     )
 
     def __init__(
@@ -152,7 +175,8 @@ class Port:
             raise ConfigError(f"port {name}: ECN threshold must be >=1 packet")
         self.sim = sim
         self.name = name
-        self.rate = float(rate)
+        self._ser_cache: dict[int, float] = {}
+        self._rate = float(rate)
         self.delay = float(delay)
         self.dst = dst
         self.buffer_packets = int(buffer_packets)
@@ -166,7 +190,34 @@ class Port:
         self._loss_rng = None
         self._admin_up = True
         self._down_mode = "drop"
+        self._tx_start: Optional[float] = None
         self.set_loss(loss_rate, loss_rng)
+
+    # -- cached-attribute invariants --------------------------------------
+
+    @property
+    def rate(self) -> float:
+        """Link bandwidth in bits/s.  Assigning (e.g. bandwidth
+        asymmetry) invalidates the per-size serialisation-delay cache."""
+        return self._rate
+
+    @rate.setter
+    def rate(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigError(f"port {self.name}: rate must be positive, got {rate!r}")
+        self._rate = float(rate)
+        self._ser_cache.clear()
+
+    @property
+    def tracer(self) -> Tracer:
+        """The trace sink.  Assigning keeps the hot path's cached
+        ``enabled`` flag in sync."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._trace = tracer.enabled
 
     # -- fault injection: random loss ------------------------------------
 
@@ -226,26 +277,49 @@ class Port:
         :meth:`recover` (a paused interface).  Either way the packet
         currently being serialised is lost when its transmission event
         fires.
+
+        Calling :meth:`fail` on a port that is already down switches the
+        mode *and applies its consequences*: ``park`` → ``drop`` flushes
+        whatever was parked (the cable is now cut, the held packets are
+        gone), ``drop`` → ``park`` starts holding subsequent arrivals.
+        Earlier versions assigned the new mode but skipped the flush,
+        leaving parked packets stranded in a drop-mode queue.
         """
         if mode not in ("drop", "park"):
             raise ConfigError(
                 f"port {self.name}: down mode must be 'drop' or 'park', "
                 f"got {mode!r}")
-        self._down_mode = mode
         if not self._admin_up:
+            if mode != self._down_mode:
+                self._down_mode = mode
+                if mode == "drop" and self._queue:
+                    self._flush_queue("link_down")
             return
+        self._down_mode = mode
         self._admin_up = False
+        # The transmitter was genuinely busy from serialisation start
+        # until the cut; credit that fraction now, because the packet on
+        # the wire is lost and its completion will credit nothing.
+        if self._busy and self._tx_start is not None:
+            self.stats.busy_time += self.sim.now - self._tx_start
+            self._tx_start = None
         if mode == "drop" and self._queue:
-            stats = self.stats
-            while self._queue:
-                pkt = self._queue.popleft()
-                self.queue_bytes -= pkt.size
-                stats.dropped += 1
-                if self.tracer.enabled:
-                    self.tracer.emit(
-                        self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
-                        seq=pkt.seq, is_ack=pkt.is_ack, reason="link_down",
-                    )
+            self._flush_queue("link_down")
+
+    def _flush_queue(self, reason: str) -> None:
+        """Drop everything queued (not the packet mid-serialisation)."""
+        stats = self.stats
+        queue = self._queue
+        trace = self._trace
+        while queue:
+            pkt = queue.popleft()
+            self.queue_bytes -= pkt.size
+            stats.dropped += 1
+            if trace:
+                self._tracer.emit(
+                    self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
+                    seq=pkt.seq, is_ack=pkt.is_ack, reason=reason,
+                )
 
     def recover(self) -> None:
         """Bring the link administratively up again.  Idempotent.
@@ -273,7 +347,22 @@ class Port:
 
     def serialization_delay(self, nbytes: int) -> float:
         """Time to clock ``nbytes`` onto this link."""
-        return (nbytes * BITS_PER_BYTE) / self.rate
+        return (nbytes * BITS_PER_BYTE) / self._rate
+
+    def busy_time_now(self) -> float:
+        """:attr:`PortStats.busy_time` pro-rated to the current instant.
+
+        ``busy_time`` itself is credited only when a serialisation
+        *completes*, so a sample taken mid-packet would under-report by
+        up to one serialisation delay.  This adds the elapsed fraction
+        of the in-progress transmission, giving samplers an exact,
+        monotonic reading at any instant.
+        """
+        bt = self.stats.busy_time
+        start = self._tx_start
+        if self._busy and start is not None:
+            bt += self.sim.now - start
+        return bt
 
     def snapshot(self) -> tuple[int, float, int, int, int]:
         """One cheap observation for periodic samplers (flight recorder):
@@ -285,7 +374,7 @@ class Port:
         stats = self.stats
         return (
             len(self._queue),
-            stats.busy_time,
+            self.busy_time_now(),
             stats.bytes_transmitted,
             stats.ecn_marked,
             stats.dropped,
@@ -300,87 +389,111 @@ class Port:
         ``False`` if it was dropped because the buffer was full.
         """
         stats = self.stats
+        trace = self._trace
         if not self._admin_up and self._down_mode == "drop":
             stats.dropped += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
+            if trace:
+                self._tracer.emit(
                     self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
                     seq=pkt.seq, is_ack=pkt.is_ack, reason="link_down",
                 )
             return False
         if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
             stats.dropped += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
+            if trace:
+                self._tracer.emit(
                     self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
                     seq=pkt.seq, is_ack=pkt.is_ack, injected=True,
                 )
             return False
-        if len(self._queue) >= self.buffer_packets:
+        queue = self._queue
+        qlen = len(queue)
+        if qlen >= self.buffer_packets:
             stats.dropped += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
+            if trace:
+                self._tracer.emit(
                     self.sim.now, "drop", port=self.name, flow=pkt.flow_id, seq=pkt.seq,
                     is_ack=pkt.is_ack,
                 )
             return False
         # DCTCP-style marking on the instantaneous queue at enqueue time.
+        # Only *fresh* marks are counted and traced: a packet that
+        # arrives already CE-marked from an upstream hop keeps its mark,
+        # but crediting it again here would double-count one congestion
+        # signal across every congested hop it crosses.
+        ecn_threshold = self.ecn_threshold
         if (
-            self.ecn_threshold is not None
+            ecn_threshold is not None
+            and qlen >= ecn_threshold
             and pkt.ecn_capable
             and not pkt.is_ack
-            and len(self._queue) >= self.ecn_threshold
+            and not pkt.ecn_marked
         ):
             pkt.ecn_marked = True
             stats.ecn_marked += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
+            if trace:
+                self._tracer.emit(
                     self.sim.now, "mark", port=self.name, flow=pkt.flow_id,
-                    seq=pkt.seq, qlen=len(self._queue),
+                    seq=pkt.seq, qlen=qlen,
                 )
         pkt.enqueued_at = self.sim.now
         stats.enqueued += 1
-        stats.bytes_enqueued += pkt.size
-        self.queue_bytes += pkt.size
-        if self.tracer.enabled:
-            self.tracer.emit(
+        size = pkt.size
+        stats.bytes_enqueued += size
+        self.queue_bytes += size
+        if trace:
+            self._tracer.emit(
                 self.sim.now, "enqueue", port=self.name, flow=pkt.flow_id,
-                seq=pkt.seq, qlen=len(self._queue), is_ack=pkt.is_ack,
+                seq=pkt.seq, qlen=qlen, is_ack=pkt.is_ack,
             )
-        self._queue.append(pkt)
+        queue.append(pkt)
         if not self._busy and self._admin_up:
             self._start_transmission()
         return True
 
     def _start_transmission(self) -> None:
+        sim = self.sim
         pkt = self._queue.popleft()
-        self.queue_bytes -= pkt.size
+        size = pkt.size
+        self.queue_bytes -= size
         self._busy = True
-        tx = self.serialization_delay(pkt.size)
-        self.stats.busy_time += tx
-        if self.tracer.enabled:
-            self.tracer.emit(
-                self.sim.now, "dequeue", port=self.name, flow=pkt.flow_id,
-                seq=pkt.seq, wait=self.sim.now - pkt.enqueued_at, is_ack=pkt.is_ack,
+        cache = self._ser_cache
+        tx = cache.get(size)
+        if tx is None:
+            tx = cache[size] = (size * BITS_PER_BYTE) / self._rate
+        self._tx_start = sim.now
+        if self._trace:
+            self._tracer.emit(
+                sim.now, "dequeue", port=self.name, flow=pkt.flow_id,
+                seq=pkt.seq, wait=sim.now - pkt.enqueued_at, is_ack=pkt.is_ack,
             )
-        self.sim.call_later(tx, self._transmission_done, pkt)
+        sim.call_later_fast(tx, self._transmission_done, pkt, tx)
 
-    def _transmission_done(self, pkt: "Packet") -> None:
+    def _transmission_done(self, pkt: "Packet", tx: float) -> None:
         if not self._admin_up:
             # The link was cut mid-serialisation: the packet is lost and
-            # no further transmission starts until recover().
+            # no further transmission starts until recover().  fail()
+            # already credited the busy fraction up to the cut.
             self._busy = False
             self.stats.dropped += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
+            if self._trace:
+                self._tracer.emit(
                     self.sim.now, "drop", port=self.name, flow=pkt.flow_id,
                     seq=pkt.seq, is_ack=pkt.is_ack, reason="link_down",
                 )
             return
-        self.stats.transmitted += 1
-        self.stats.bytes_transmitted += pkt.size
+        stats = self.stats
+        stats.transmitted += 1
+        stats.bytes_transmitted += pkt.size
+        # Busy time is credited at serialisation *completion*: a
+        # utilization sample taken mid-serialisation must not already
+        # include the whole packet (use busy_time_now() to pro-rate).
+        # _tx_start is None only when a fail()/recover() pair raced this
+        # completion — fail() credited the pre-cut fraction already.
+        if self._tx_start is not None:
+            stats.busy_time += tx
         # Propagation pipelines: hand off and immediately start the next.
-        self.sim.call_later(self.delay, self.dst.receive, pkt)
+        self.sim.call_later_fast(self.delay, self.dst.receive, pkt)
         if self._queue:
             self._start_transmission()
         else:

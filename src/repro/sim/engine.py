@@ -2,17 +2,30 @@
 
 Design notes
 ------------
-The kernel is a classic calendar built on :mod:`heapq`.  Two details matter
-for reproducibility and speed:
+The kernel is a classic calendar built on :mod:`heapq`.  Three details
+matter for reproducibility and speed:
 
 * **Deterministic tie-breaking.**  Events scheduled for the same timestamp
   fire in scheduling order (a monotonically increasing sequence number is
   part of the heap key).  This makes every run bit-reproducible for a fixed
   seed, which the test suite relies on.
-* **O(1) cancellation.**  Cancelled events are flagged and skipped when
-  popped instead of being removed from the heap (the standard lazy-deletion
-  trick).  Retransmission timers are cancelled far more often than they
-  fire, so this path must be cheap.
+* **C-speed heap keys.**  Heap entries are plain tuples whose first two
+  elements are ``(time, seq)``.  Because ``seq`` is unique, tuple
+  comparison never looks past it, so every ``heappush``/``heappop``
+  comparison runs in C instead of calling a Python ``__lt__`` — on large
+  calendars the comparisons are most of the per-event cost.  Two entry
+  shapes share the heap: ``(time, seq, Event)`` for cancellable events
+  and ``(time, seq, fn, args)`` for the no-handle fast path
+  (:meth:`Simulator.call_later_fast`) used by per-packet events that are
+  never cancelled.
+* **O(1) cancellation, batched sweeps.**  Cancelled events are flagged
+  and skipped when popped instead of being removed from the heap (the
+  standard lazy-deletion trick).  Retransmission timers are cancelled far
+  more often than they fire, so this path must be cheap.  To stop a
+  cancel-heavy run from growing the calendar without bound, the
+  simulator counts live cancellations and compacts the heap in one
+  O(n) ``heapify`` when cancelled entries exceed half the calendar
+  (past a minimum size), instead of paying per-cancel removal costs.
 
 Times are ``float`` seconds.  The kernel never rounds: any quantisation
 would distort the sub-microsecond serialisation delays of 1 Gbps links.
@@ -20,13 +33,20 @@ would distort the sub-microsecond serialisation delays of 1 Gbps links.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heapify, heappop, heappush
+from sys import maxsize
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
 __all__ = ["Event", "Simulator"]
+
+#: Lazy-deletion sweep trigger: compact when more than this many events
+#: are cancelled AND they make up over half the calendar.  High enough
+#: that steady-state timer churn on a small calendar (which lazy pops
+#: already clean up for free) never triggers O(n) compaction.
+_SWEEP_MIN_CANCELLED = 256
 
 
 class Event:
@@ -37,21 +57,30 @@ class Event:
     cancelled with :meth:`cancel` at any point before they fire.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled retransmit timers don't pin packets.
         self.fn = _noop
         self.args = ()
+        # Let the owning simulator batch-compact its calendar once
+        # cancelled entries dominate it.
+        sim = self.sim
+        if sim is not None:
+            sim._n_cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -86,15 +115,18 @@ class Simulator:
     1.5
     """
 
-    __slots__ = ("_heap", "_counter", "_now", "_running", "_processed", "_stopped")
+    __slots__ = ("_heap", "_counter", "_now", "_running", "_processed",
+                 "_stopped", "_n_cancelled")
 
     def __init__(self, start: float = 0.0):
-        self._heap: list[Event] = []
+        #: entries are ``(time, seq, Event)`` or ``(time, seq, fn, args)``
+        self._heap: list[tuple] = []
         self._counter = itertools.count()
         self._now = float(start)
         self._running = False
         self._stopped = False
         self._processed = 0
+        self._n_cancelled = 0
 
     # -- clock ---------------------------------------------------------
 
@@ -127,8 +159,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={when:.9f}s before now={self._now:.9f}s"
             )
-        ev = Event(when, next(self._counter), fn, args)
-        heapq.heappush(self._heap, ev)
+        heap = self._heap
+        n_cancelled = self._n_cancelled
+        if n_cancelled > _SWEEP_MIN_CANCELLED and n_cancelled * 2 > len(heap):
+            self._sweep()
+        ev = Event(when, next(self._counter), fn, args, self)
+        heappush(heap, (when, ev.seq, ev))
         return ev
 
     def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -139,9 +175,59 @@ class Simulator:
         SimulationError
             If ``delay`` is negative.
         """
+        # schedule() inlined: this runs once per timer arm, and a
+        # non-negative delay can never land in the simulated past.
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule(self._now + delay, fn, *args)
+        heap = self._heap
+        n_cancelled = self._n_cancelled
+        if n_cancelled > _SWEEP_MIN_CANCELLED and n_cancelled * 2 > len(heap):
+            self._sweep()
+        when = self._now + delay
+        ev = Event(when, next(self._counter), fn, args, self)
+        heappush(heap, (when, ev.seq, ev))
+        return ev
+
+    def schedule_fast(self, when: float, fn: Callable[..., Any], *args: Any) -> None:
+        """:meth:`schedule` without a cancellation handle.
+
+        The hot path for events that are never cancelled (packet
+        serialisation completions, propagation deliveries): no
+        :class:`Event` is allocated, the calendar holds a raw
+        ``(time, seq, fn, args)`` tuple.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when:.9f}s before now={self._now:.9f}s"
+            )
+        heap = self._heap
+        n_cancelled = self._n_cancelled
+        if n_cancelled > _SWEEP_MIN_CANCELLED and n_cancelled * 2 > len(heap):
+            self._sweep()
+        heappush(heap, (when, next(self._counter), fn, args))
+
+    def call_later_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """:meth:`call_later` without a cancellation handle (see
+        :meth:`schedule_fast`).  The busiest call in a full-fabric run:
+        every serialisation completion and propagation delivery."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heap = self._heap
+        n_cancelled = self._n_cancelled
+        if n_cancelled > _SWEEP_MIN_CANCELLED and n_cancelled * 2 > len(heap):
+            self._sweep()
+        heappush(heap, (self._now + delay, next(self._counter), fn, args))
+
+    def _sweep(self) -> None:
+        """Batch lazy-deletion: drop cancelled entries, re-heapify in place.
+
+        In-place (``heap[:] =``) so a ``run()`` loop holding a local
+        reference to the list keeps seeing the compacted calendar.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if len(e) != 3 or not e[2].cancelled]
+        heapify(heap)
+        self._n_cancelled = 0
 
     # -- execution -------------------------------------------------------
 
@@ -157,34 +243,49 @@ class Simulator:
             Safety valve: raise :class:`SimulationError` after this many
             events *in this call* (catches accidental event storms in
             tests).  The budget is per ``run()`` invocation, not
-            cumulative over the simulator's lifetime.
+            cumulative over the simulator's lifetime.  Skipped cancelled
+            events do not consume budget.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
         heap = self._heap
+        pop = heappop
+        bound = float("inf") if until is None else until
+        budget = maxsize if max_events is None else max_events
         executed = 0
         try:
             while heap:
-                ev = heap[0]
-                if ev.cancelled:
-                    heapq.heappop(heap)
-                    continue
-                if until is not None and ev.time > until:
+                entry = pop(heap)
+                if len(entry) == 3:
+                    ev = entry[2]
+                    if ev.cancelled:
+                        # Skipped, not run: consumes neither budget nor
+                        # clock, and is discarded even beyond ``until``.
+                        self._n_cancelled -= 1
+                        continue
+                    fn = ev.fn
+                    args = ev.args
+                else:
+                    fn = entry[2]
+                    args = entry[3]
+                when = entry[0]
+                if when > bound:
+                    heappush(heap, entry)
                     break
-                if max_events is not None and executed >= max_events:
+                if executed >= budget:
+                    heappush(heap, entry)
                     raise SimulationError(
                         f"exceeded max_events={max_events} (possible event storm)"
                     )
-                heapq.heappop(heap)
-                self._now = ev.time
-                ev.fn(*ev.args)
-                self._processed += 1
+                self._now = when
+                fn(*args)
                 executed += 1
                 if self._stopped:
                     break
         finally:
+            self._processed += executed
             self._running = False
         if until is not None and not self._stopped and self._now < until:
             self._now = until
@@ -201,11 +302,19 @@ class Simulator:
         """
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            ev.fn(*ev.args)
+            entry = heappop(heap)
+            if len(entry) == 3:
+                ev = entry[2]
+                if ev.cancelled:
+                    self._n_cancelled -= 1
+                    continue
+                fn = ev.fn
+                args = ev.args
+            else:
+                fn = entry[2]
+                args = entry[3]
+            self._now = entry[0]
+            fn(*args)
             self._processed += 1
             return True
         return False
@@ -213,6 +322,7 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if idle."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
+            heappop(heap)
+            self._n_cancelled -= 1
+        return heap[0][0] if heap else None

@@ -131,6 +131,7 @@ class TcpSender:
 
         self.rto = RtoEstimator(self.config.min_rto, self.config.max_rto)
         self._rto_event: Optional[Event] = None
+        self._rto_deadline = 0.0
         self._send_times: dict[int, float] = {}
         self._retransmitted: set[int] = set()
 
@@ -306,20 +307,44 @@ class TcpSender:
         self._arm_rto()
 
     # -- timers ------------------------------------------------------------
+    #
+    # One re-armed event per flow instead of cancel+reschedule per ACK:
+    # arming only pushes the *deadline* forward; the already-scheduled
+    # check event (which by construction fires no later than any newer
+    # deadline) re-arms itself to the true deadline when it goes off
+    # early.  A healthy ACK clock therefore costs one float store per
+    # ACK and one heap event per RTO period, instead of a heap push plus
+    # a lazily-deleted cancelled entry per ACK.
 
     def _arm_rto(self) -> None:
-        self._cancel_rto()
-        self._rto_event = self.sim.call_later(self.rto.rto, self._on_rto)
+        deadline = self.sim.now + self.rto.rto
+        self._rto_deadline = deadline
+        ev = self._rto_event
+        if ev is not None and not ev.cancelled:
+            if ev.time <= deadline:
+                return  # pending check fires first and will re-arm
+            # Deadline moved *earlier* (RTO shrank after an RTT sample):
+            # the pending check would fire late, so replace it.
+            ev.cancel()
+        self._rto_event = self.sim.schedule(deadline, self._check_rto)
 
     def _cancel_rto(self) -> None:
         if self._rto_event is not None:
             self._rto_event.cancel()
             self._rto_event = None
 
-    def _on_rto(self) -> None:
+    def _check_rto(self) -> None:
         self._rto_event = None
         if self.closed:
             return
+        deadline = self._rto_deadline
+        if self.sim.now < deadline:
+            # ACKs pushed the deadline past this check: re-arm, no timeout.
+            self._rto_event = self.sim.schedule(deadline, self._check_rto)
+            return
+        self._on_rto()
+
+    def _on_rto(self) -> None:
         self.rto.on_timeout()
         if not self.established:
             self._send_syn()  # SYN lost: retry

@@ -180,3 +180,115 @@ def test_events_processed_counter(sim):
         sim.call_later(0.1, lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+# -- edge cases around lazy deletion, until/stop, and the fast path -------
+
+
+def test_run_until_with_cancelled_event_at_heap_top(sim):
+    # A cancelled event at the top of the heap must neither fire, nor
+    # advance the clock to its timestamp, nor stop the run early.
+    fired = []
+    ev = sim.call_later(0.1, fired.append, "cancelled")
+    sim.call_later(0.2, fired.append, "live")
+    ev.cancel()
+    sim.run(until=0.5)
+    assert fired == ["live"]
+    assert sim.now == 0.5
+
+
+def test_cancelled_event_beyond_until_is_discarded_not_requeued(sim):
+    # Lazy deletion may discard cancelled entries even past the horizon:
+    # they can never fire, so they must not survive as pending work.
+    ev = sim.call_later(1.0, lambda: None)
+    ev.cancel()
+    sim.run(until=0.5)
+    assert sim.pending == 0
+    assert sim.now == 0.5
+
+
+def test_stop_prevents_final_clock_advance_to_until(sim):
+    # run(until=X) normally leaves now == X, but stop() means "freeze
+    # where we are" — the clock must stay at the stopping event's time.
+    sim.call_later(0.1, sim.stop)
+    sim.run(until=5.0)
+    assert sim.now == 0.1
+
+
+def test_max_events_ignores_skipped_cancelled_events(sim):
+    fired = []
+    cancelled = [sim.call_later(0.001 * i, fired.append, i) for i in range(1, 6)]
+    for ev in cancelled:
+        ev.cancel()
+    sim.call_later(0.1, fired.append, "a")
+    sim.call_later(0.2, fired.append, "b")
+    # Budget of exactly 2: the five skipped cancellations must not count.
+    sim.run(max_events=2)
+    assert fired == ["a", "b"]
+
+
+def test_fast_path_events_interleave_deterministically(sim):
+    # Handle-less fast-path entries share the calendar with cancellable
+    # ones; ties on time still fire in scheduling order across both kinds.
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule_fast(1.0, order.append, "b")
+    sim.call_later(1.0, order.append, "c")
+    sim.call_later_fast(1.0, order.append, "d")
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_fast_path_validates_like_slow_path(sim):
+    with pytest.raises(SimulationError):
+        sim.call_later_fast(-0.1, lambda: None)
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(0.5, lambda: None)
+
+
+def test_step_and_peek_handle_fast_entries(sim):
+    fired = []
+    sim.call_later_fast(0.2, fired.append, "fast")
+    assert sim.peek_time() == pytest.approx(0.2)
+    assert sim.step() is True
+    assert fired == ["fast"]
+    assert sim.step() is False
+
+
+def test_mass_cancellation_triggers_sweep_and_preserves_live_events(sim):
+    # Cancel enough events to cross the sweep threshold; the calendar
+    # must compact (bounded memory) while every live event still fires.
+    fired = []
+    doomed = [sim.call_later(0.1 + 0.001 * i, fired.append, i) for i in range(400)]
+    sim.call_later(9.0, fired.append, "live")
+    for ev in doomed:
+        ev.cancel()
+    # The next scheduling call runs the batched sweep.
+    sim.call_later(9.5, fired.append, "tail")
+    assert sim.pending == 2
+    sim.run()
+    assert fired == ["live", "tail"]
+
+
+def test_same_seed_runs_are_identical(sim):
+    # Two simulators fed the same schedule (mixed fast/slow entries,
+    # cancellations, ties) must execute the identical event sequence.
+    def drive(s):
+        order = []
+        evs = []
+        for i in range(50):
+            t = 0.001 * (i % 7) + 0.0001 * i
+            if i % 3 == 0:
+                s.schedule_fast(t, order.append, ("fast", i))
+            else:
+                evs.append(s.call_later(t, order.append, ("slow", i)))
+        for ev in evs[::4]:
+            ev.cancel()
+        s.run()
+        return order, s.now, s.events_processed
+
+    a = drive(sim)
+    b = drive(Simulator())
+    assert a == b

@@ -136,6 +136,127 @@ def test_queue_bytes_tracks_queued_payload(sim, sink):
     assert port.queue_bytes == 0
 
 
+# -- fail()/recover() mode transitions (regression: the mode used to be
+# -- reassigned before the already-down guard, skipping its consequences)
+
+
+def test_fail_park_then_drop_flushes_parked_queue(sim, sink):
+    """Switching a down port from park to drop discards what was parked."""
+    port = make_port(sim, sink)
+    port.enqueue(make_packet(seq=0))  # in service
+    port.enqueue(make_packet(seq=1))
+    port.enqueue(make_packet(seq=2))
+    port.fail("park")
+    assert port.queue_length == 2  # parked, not dropped
+    port.fail("drop")  # the cable is now cut: parked packets are gone
+    assert port.down_mode == "drop"
+    assert port.queue_length == 0
+    assert port.stats.dropped == 2
+    sim.run()
+    # The packet that was mid-serialisation at the cut is lost too.
+    assert sink.received == []
+    assert port.stats.dropped == 3
+
+
+def test_fail_drop_then_park_holds_subsequent_arrivals(sim, sink):
+    """Switching a down port from drop to park starts parking arrivals."""
+    port = make_port(sim, sink)
+    port.fail("drop")
+    assert not port.enqueue(make_packet(seq=0))  # discarded while cut
+    port.fail("park")
+    assert port.down_mode == "park"
+    assert port.enqueue(make_packet(seq=1))  # held
+    assert port.queue_length == 1
+    port.recover()
+    sim.run()
+    assert [p.seq for p in sink.received] == [1]
+
+
+def test_fail_same_mode_while_down_is_idempotent(sim, sink):
+    port = make_port(sim, sink)
+    port.enqueue(make_packet(seq=0))
+    port.enqueue(make_packet(seq=1))
+    port.fail("park")
+    dropped = port.stats.dropped
+    port.fail("park")  # no-op: nothing flushed, mode unchanged
+    assert port.stats.dropped == dropped
+    assert port.queue_length == 1
+
+
+# -- busy_time accounting (regression: the whole serialisation delay used
+# -- to be credited when transmission *started*)
+
+
+def test_busy_time_credited_at_completion(sim, sink):
+    port = make_port(sim, sink, rate=Mbps(8), delay=0.0)  # 1 ms per 1000 B
+    port.enqueue(make_packet(size=1000))
+    sim.run(until=0.0004)
+    # Mid-serialisation: nothing completed yet, so the counter reads 0 —
+    # a utilization sample here must not claim a full packet of work.
+    assert port.stats.busy_time == 0.0
+    assert port.busy_time_now() == pytest.approx(0.0004)
+    sim.run()
+    assert port.stats.busy_time == pytest.approx(0.001)
+    assert port.busy_time_now() == pytest.approx(0.001)
+
+
+def test_snapshot_pro_rates_in_progress_serialisation(sim, sink):
+    port = make_port(sim, sink, rate=Mbps(8), delay=0.0)
+    port.enqueue(make_packet(size=1000))
+    sim.run(until=0.0005)
+    _, busy, _, _, _ = port.snapshot()
+    assert busy == pytest.approx(0.0005)
+
+
+def test_busy_time_pro_rated_when_link_cut_mid_packet(sim, sink):
+    port = make_port(sim, sink, rate=Mbps(8), delay=0.0)
+    port.enqueue(make_packet(size=1000))
+    sim.run(until=0.00025)
+    port.fail("drop")
+    sim.run()
+    # The transmitter ran for a quarter of the packet before the cut;
+    # the packet itself is lost, not delivered.
+    assert port.stats.busy_time == pytest.approx(0.00025)
+    assert sink.received == []
+    assert port.stats.transmitted == 0
+    assert port.stats.dropped == 1
+
+
+# -- ECN accounting (regression: a packet arriving already CE-marked from
+# -- an upstream hop used to be counted and traced again at every
+# -- congested downstream hop)
+
+
+class _Relay:
+    """A node that forwards every received packet to another port."""
+
+    def __init__(self, port):
+        self.name = "relay"
+        self.port = port
+
+    def receive(self, pkt):
+        self.port.enqueue(pkt)
+
+
+def test_ecn_counts_only_fresh_marks_across_two_hops(sim, sink):
+    tracer = RecordingTracer()
+    second = Port(sim, "hop2", Mbps(100), 0.0, sink,
+                  ecn_threshold=1, tracer=tracer)
+    first = Port(sim, "hop1", Gbps(1), microseconds(1), _Relay(second),
+                 ecn_threshold=1, tracer=tracer)
+    for seq in range(3):
+        first.enqueue(make_packet(seq=seq, size=1000, ecn_capable=True))
+    sim.run()
+    # seq=2 saw a non-empty queue at hop1 and was marked there.  It also
+    # sees congestion at the slower hop2, but arrives already marked:
+    # hop2 must neither count nor trace it again.
+    assert [p.seq for p in sink.received if p.ecn_marked] == [2]
+    assert first.stats.ecn_marked == 1
+    assert second.stats.ecn_marked == 0
+    marks = tracer.of_kind("mark")
+    assert [(r.fields["port"], r.fields["seq"]) for r in marks] == [("hop1", 2)]
+
+
 def test_invalid_configs_rejected(sim, sink):
     with pytest.raises(ConfigError):
         Port(sim, "p", 0, 0.0, sink)
