@@ -18,7 +18,9 @@ The package is layered bottom-up:
 * :mod:`repro.metrics` — FCT/throughput/queueing/reordering/deadline/
   overhead collectors;
 * :mod:`repro.experiments` — one driver per paper figure plus a
-  multiprocessing sweep runner.
+  multiprocessing sweep runner;
+* :mod:`repro.cache` — content-addressed on-disk result cache that
+  makes unchanged sweeps resolve instantly (``repro ... --cache``).
 
 Quick start::
 

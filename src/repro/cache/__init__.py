@@ -1,0 +1,43 @@
+"""Content-addressed scenario result cache.
+
+Figure sweeps are deterministic: the same
+:class:`~repro.experiments.common.ScenarioConfig` under the same code
+always produces byte-identical
+:class:`~repro.metrics.collector.RunMetrics` (PR 4's kernel work made
+this a tested invariant).  That makes results *content-addressable* —
+this package stores them on disk keyed by a stable hash of the
+canonicalised config plus a fingerprint of the ``repro`` source tree,
+so re-running an unchanged sweep resolves instantly from cache.
+
+* :mod:`repro.cache.key` — canonical config digests, the code
+  fingerprint, and the combined cache key;
+* :mod:`repro.cache.store` — :class:`ResultCache`, the atomic on-disk
+  store with ``stats`` / ``clear`` / ``gc`` maintenance.
+
+Consumed by :func:`repro.experiments.runner.run_many` (hits are
+resolved before any worker process is spawned; misses are written back
+as they complete) and surfaced on the CLI as ``--cache`` /
+``--cache-dir`` on ``repro run/sweep/figure`` and the ``repro cache``
+subcommand.
+"""
+
+from repro.cache.key import (
+    NON_SEMANTIC_FIELDS,
+    cache_key,
+    canonical_config,
+    code_fingerprint,
+    config_digest,
+)
+from repro.cache.store import CacheStats, ResultCache, default_cache_dir, parse_size
+
+__all__ = [
+    "NON_SEMANTIC_FIELDS",
+    "cache_key",
+    "canonical_config",
+    "code_fingerprint",
+    "config_digest",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "parse_size",
+]

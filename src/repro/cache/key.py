@@ -1,0 +1,136 @@
+"""Cache keys: canonical config digests and the code fingerprint.
+
+A cached result is only reusable when *both* the scenario and the code
+that produced it are unchanged, so every key combines two digests:
+
+* the **config digest** — a SHA-256 over a canonical JSON projection of
+  the :class:`~repro.experiments.common.ScenarioConfig`, covering every
+  field that can change the simulation outcome (scheme, fabric shape,
+  workload, fault schedule, asymmetry overrides, seed, horizon, ...) and
+  deliberately *excluding* pure observability knobs (trace verbosity,
+  telemetry profiling, live time-series collection) that leave the
+  returned :class:`~repro.metrics.collector.RunMetrics` untouched;
+* the **code fingerprint** — the package version plus a SHA-256 over
+  every ``*.py`` file in the installed ``repro`` source tree, so any
+  code change (even a one-line bugfix deep in the transport) invalidates
+  the whole cache rather than serving stale results.
+
+Canonicalisation makes the digest independent of dict ordering and of
+tuple-vs-list spelling: values are projected to JSON with sorted keys,
+tuples become lists, and anything non-primitive falls back to ``repr``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro._version import __version__
+
+__all__ = [
+    "NON_SEMANTIC_FIELDS",
+    "canonical_config",
+    "config_digest",
+    "code_fingerprint",
+    "cache_key",
+]
+
+#: layout/derivation salt; bump to orphan every existing entry at once
+KEY_SCHEMA = "repro-cache-v1"
+
+#: ScenarioConfig fields that cannot change RunMetrics: observability
+#: and profiling knobs only.  Everything else is semantic by default, so
+#: a *new* config field is conservatively cache-invalidating until it is
+#: explicitly listed here.
+NON_SEMANTIC_FIELDS = frozenset({
+    "trace_kinds",   # which trace records are kept (RecordingTracer)
+    "telemetry",     # wall-clock profiling into extras
+    "timeseries",    # live BinnedSeries trackers (not part of RunMetrics)
+    "bin_width",     # bin width of those live trackers
+})
+
+
+def _canon(value: Any) -> Any:
+    """JSON-stable projection of one config field value."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr() is the shortest round-trip form on every supported
+        # Python; int-valued floats stay distinct from ints ("1.0").
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _canon(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canon(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    return repr(value)
+
+
+def canonical_config(config: Any) -> dict[str, Any]:
+    """The semantic fields of a config, canonicalised for hashing.
+
+    Works on any dataclass; fields named in :data:`NON_SEMANTIC_FIELDS`
+    are dropped.
+    """
+    if not (dataclasses.is_dataclass(config) and not isinstance(config, type)):
+        raise TypeError(
+            f"cache keys need a dataclass config, got {type(config).__name__}")
+    return {
+        f.name: _canon(getattr(config, f.name))
+        for f in dataclasses.fields(config)
+        if f.name not in NON_SEMANTIC_FIELDS
+    }
+
+
+def config_digest(config: Any) -> str:
+    """SHA-256 hex digest of the canonical config projection."""
+    payload = json.dumps(canonical_config(config), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+_fingerprint_cache: dict[str, str] = {}
+
+
+def code_fingerprint(root: Optional[Path] = None) -> str:
+    """Digest of the ``repro`` source tree (or ``root``) + version.
+
+    Hashes every ``*.py`` under the package directory in sorted relative
+    order (path and content both), so moving, renaming, adding, or
+    editing any module changes the fingerprint.  Computed once per
+    process per root.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root)
+    cached = _fingerprint_cache.get(str(root))
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(KEY_SCHEMA.encode())
+    h.update(__version__.encode())
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+    fingerprint = h.hexdigest()
+    _fingerprint_cache[str(root)] = fingerprint
+    return fingerprint
+
+
+def cache_key(config: Any, fingerprint: Optional[str] = None) -> str:
+    """The content address of one (config, code) pair."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    h = hashlib.sha256()
+    h.update(KEY_SCHEMA.encode())
+    h.update(fingerprint.encode())
+    h.update(config_digest(config).encode())
+    return h.hexdigest()

@@ -1,0 +1,341 @@
+"""The on-disk result store: content-addressed, atomic, concurrency-safe.
+
+Layout (all under one cache root)::
+
+    <root>/
+      objects/<sha256>.pkl   one pickled result per key
+      index.jsonl            append-only metadata log (one line per put)
+
+``objects/`` is the source of truth: a lookup is a single O(1) path
+probe, so the store needs no locking to read.  Writes go through a
+temporary file in the same directory followed by :func:`os.replace`, so
+a concurrent sweep (or a killed process) can never leave a partially
+written entry — readers see either nothing or complete bytes.  Two
+sweeps computing the same key race benignly: last rename wins and both
+contents are byte-equivalent by construction (deterministic runs).
+
+``index.jsonl`` is a human-greppable sidecar for ``repro cache stats``
+(scheme/seed/load per entry) — appends from concurrent writers
+interleave per line, duplicates are deduped key-last-wins on load, and
+a missing or stale index never affects correctness.
+
+A corrupted or truncated object (disk full, version skew) is treated as
+a **miss**: the entry is quarantined (unlinked best-effort) and the
+scenario is simply recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from repro.cache.key import cache_key, code_fingerprint
+from repro.errors import ConfigError
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir", "parse_size"]
+
+_OBJECTS = "objects"
+_INDEX = "index.jsonl"
+
+_SIZE_SUFFIXES = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3, "T": 1024 ** 4}
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def parse_size(text: str) -> int:
+    """``"500M"``/``"2G"``/plain bytes → byte count (for ``gc``)."""
+    s = str(text).strip().upper().removesuffix("B")
+    if not s:
+        raise ConfigError(f"empty size {text!r}")
+    factor = 1
+    if s[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[s[-1]]
+        s = s[:-1]
+    try:
+        value = float(s)
+    except ValueError:
+        raise ConfigError(f"unparseable size {text!r}") from None
+    if value < 0:
+        raise ConfigError(f"size must be >= 0, got {text!r}")
+    return int(value * factor)
+
+
+@dataclass
+class CacheStats:
+    """A snapshot of the store plus this session's hit/miss counters."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    fingerprint: str
+    #: entry count per scheme, from the index (best-effort)
+    by_scheme: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"cache dir : {self.root}",
+            f"entries   : {self.entries}",
+            f"size      : {self.total_bytes / 1e6:.2f} MB",
+            f"session   : {self.hits} hit(s), {self.misses} miss(es)",
+            f"code fp   : {self.fingerprint[:16]}…",
+        ]
+        if self.by_scheme:
+            per = ", ".join(f"{s}={n}" for s, n in sorted(self.by_scheme.items()))
+            lines.append(f"by scheme : {per}")
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """Content-addressed store of per-scenario results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).  Defaults to
+        :func:`default_cache_dir`.
+    fingerprint:
+        Code fingerprint folded into every key; defaults to
+        :func:`~repro.cache.key.code_fingerprint` of the installed
+        package.  Tests inject a constant to decouple from the tree.
+    """
+
+    def __init__(self, root: Optional[str | Path] = None, *,
+                 fingerprint: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    # -- key plumbing ------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = code_fingerprint()
+        return self._fingerprint
+
+    def key_for(self, config: Any) -> str:
+        """The content address of ``config`` under the current code."""
+        return cache_key(config, self.fingerprint)
+
+    def cacheable(self, config: Any) -> bool:
+        """Whether ``config`` can be keyed (is a dataclass instance)."""
+        try:
+            self.key_for(config)
+        except TypeError:
+            return False
+        return True
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / _OBJECTS / f"{key}.pkl"
+
+    # -- lookup / store ----------------------------------------------------
+
+    def get(self, config: Any) -> Optional[Any]:
+        """The stored result for ``config``, or None on any miss.
+
+        Counts the lookup in :attr:`hits`/:attr:`misses`; a corrupted
+        entry is quarantined and reported as a miss, never an error.
+        """
+        try:
+            path = self._object_path(self.key_for(config))
+        except TypeError:
+            self.misses += 1
+            return None
+        try:
+            blob = path.read_bytes()
+            result = pickle.loads(blob)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupted/unreadable entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:  # LRU signal for gc(); never worth failing a hit over
+            os.utime(path)
+        except OSError:
+            pass
+        return result
+
+    def put(self, config: Any, result: Any) -> Optional[Path]:
+        """Store ``result`` under ``config``'s key (atomic rename).
+
+        Returns the entry path, or None when the config cannot be keyed
+        or the result cannot be pickled (both are silently uncacheable,
+        not errors — a sweep must never die on write-back).
+        """
+        try:
+            key = self.key_for(config)
+            blob = pickle.dumps(result, protocol=4)
+        except Exception:
+            return None
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".tmp-{os.getpid()}-{key[:16]}"
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return None
+        self._append_index(key, config, len(blob))
+        return path
+
+    def _append_index(self, key: str, config: Any, n_bytes: int) -> None:
+        line = {"key": key, "bytes": n_bytes, "created": time.time()}
+        for name in ("scheme", "workload", "seed", "load"):
+            value = getattr(config, name, None)
+            if isinstance(value, (str, int, float, bool)):
+                line[name] = value
+        try:
+            with (self.root / _INDEX).open("a") as fh:
+                fh.write(json.dumps(line, sort_keys=True) + "\n")
+        except OSError:
+            pass  # the index is advisory
+
+    def _read_index(self) -> dict[str, dict]:
+        """key → metadata, deduped last-wins; {} when absent/corrupt."""
+        entries: dict[str, dict] = {}
+        try:
+            with (self.root / _INDEX).open() as fh:
+                for raw in fh:
+                    try:
+                        line = json.loads(raw)
+                        entries[line["key"]] = line
+                    except (ValueError, KeyError, TypeError):
+                        continue
+        except OSError:
+            pass
+        return entries
+
+    # -- maintenance -------------------------------------------------------
+
+    def _iter_objects(self) -> Iterator[Path]:
+        try:
+            yield from (self.root / _OBJECTS).glob("*.pkl")
+        except OSError:
+            return
+
+    def stats(self) -> CacheStats:
+        """Scan the store (entries, bytes, per-scheme breakdown)."""
+        entries = 0
+        total = 0
+        live_keys = set()
+        for path in self._iter_objects():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            live_keys.add(path.stem)
+        by_scheme: dict[str, int] = {}
+        for key, meta in self._read_index().items():
+            if key in live_keys and "scheme" in meta:
+                s = str(meta["scheme"])
+                by_scheme[s] = by_scheme.get(s, 0) + 1
+        return CacheStats(
+            root=str(self.root), entries=entries, total_bytes=total,
+            hits=self.hits, misses=self.misses,
+            fingerprint=self.fingerprint, by_scheme=by_scheme,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry (and the index); returns entries removed."""
+        removed = 0
+        for path in list(self._iter_objects()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            (self.root / _INDEX).unlink()
+        except OSError:
+            pass
+        return removed
+
+    def gc(self, max_bytes: int) -> tuple[int, int]:
+        """Evict least-recently-used entries until ≤ ``max_bytes``.
+
+        Recency is file mtime (refreshed on every hit).  Returns
+        ``(entries_removed, bytes_freed)`` and compacts the index to the
+        surviving entries.
+        """
+        if max_bytes < 0:
+            raise ConfigError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        stamped = []
+        total = 0
+        for path in self._iter_objects():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            stamped.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        stamped.sort()  # oldest first
+        removed = 0
+        freed = 0
+        for _, size, path in stamped:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        if removed:
+            self._compact_index()
+        return removed, freed
+
+    def _compact_index(self) -> None:
+        """Rewrite the index to the entries that still exist (atomic)."""
+        live = {p.stem for p in self._iter_objects()}
+        entries = self._read_index()
+        tmp = self.root / f".{_INDEX}.tmp-{os.getpid()}"
+        try:
+            with tmp.open("w") as fh:
+                for key, meta in entries.items():
+                    if key in live:
+                        fh.write(json.dumps(meta, sort_keys=True) + "\n")
+            os.replace(tmp, self.root / _INDEX)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    # -- reporting ---------------------------------------------------------
+
+    def session_summary(self) -> dict[str, Any]:
+        """Hit/miss counters for manifests and heartbeat lines."""
+        return {"dir": str(self.root), "hits": self.hits,
+                "misses": self.misses,
+                "fingerprint": self.fingerprint}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses})")

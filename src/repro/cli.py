@@ -26,7 +26,16 @@ Commands
     optional recorded-run HTML report.  ``bench --micro`` instead runs
     the hot-path micro-benchmarks (events/sec, packets/sec, determinism
     checksums) and can compare against a committed baseline
-    (``--baseline``, ``--require-identical``).
+    (``--baseline``, ``--require-identical``).  ``bench --cache-bench``
+    times the same sweep cold then warm through the result cache
+    (``BENCH_pr5.json``).
+``cache``
+    Result-cache maintenance: ``stats``, ``clear``, ``gc --max-size``.
+
+``run``, ``sweep``, and ``figure`` all accept ``--cache`` /
+``--no-cache`` / ``--cache-dir DIR``: with caching on, any scenario
+whose config and code fingerprint match a stored entry is served from
+disk instead of re-simulated, and fresh results are written back.
 """
 
 from __future__ import annotations
@@ -56,6 +65,27 @@ FIGURES = {
     # beyond the paper: §7 asymmetry under dynamic mid-run failure
     "faults": ("repro.experiments.faults", "main", ()),
 }
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    """The shared result-cache flags (``run``/``sweep``/``figure``)."""
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="serve unchanged scenarios from the result cache and write"
+        " fresh results back (default: off)")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (implies --cache; default $REPRO_CACHE_DIR"
+        " or ~/.cache/repro)")
+
+
+def _cache_from_args(args: argparse.Namespace):
+    """A ResultCache when caching was requested, else None."""
+    if not (getattr(args, "cache", False) or getattr(args, "cache_dir", None)):
+        return None
+    from repro.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,9 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-detection-delay", type=float, default=0.0,
                      metavar="S", help="seconds before balancers learn of a"
                      " link transition (default 0: oracle control plane)")
+    _add_cache_args(run)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("name", choices=sorted(FIGURES))
+    _add_cache_args(fig)
 
     sw = sub.add_parser("sweep", help="load sweep across schemes, CSV out")
     sw.add_argument("--schemes", nargs="+", default=["ecmp", "rps", "tlb"])
@@ -124,6 +156,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="inject this fault schedule into every run")
     sw.add_argument("--retries", type=int, default=1,
                     help="retry budget per crashed/wedged run (default 1)")
+    sw.add_argument("--chunksize", type=int, default=None, metavar="N",
+                    help="scenarios per worker round-trip (default: auto)")
+    _add_cache_args(sw)
+
+    cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache directory (default $REPRO_CACHE_DIR"
+                       " or ~/.cache/repro)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry count, size, session"
+                         " counters, per-scheme breakdown")
+    cache_sub.add_parser("clear", help="delete every cached result")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a size cap")
+    cache_gc.add_argument("--max-size", required=True, metavar="SIZE",
+                          help="target total size, e.g. 500M, 2G, or bytes")
 
     trace = sub.add_parser("trace", help="trace-file utilities")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -178,6 +226,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--require-identical", action="store_true",
                        help="micro mode: with --baseline, exit non-zero if"
                        " any determinism checksum drifted")
+    bench.add_argument("--cache-bench", action="store_true",
+                       help="time a representative sweep cold vs warm"
+                       " through the result cache (JSON default:"
+                       " BENCH_pr5.json)")
+    bench.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache-bench mode: reuse this cache directory"
+                       " (default: a throwaway temp dir)")
+    bench.add_argument("--processes", type=int, default=None,
+                       help="cache-bench mode: sweep worker processes"
+                       " (default: auto)")
 
     model = sub.add_parser("model", help="evaluate Eq. 9 (no simulation)")
     model.add_argument("--short-flows", type=int, default=100)
@@ -233,6 +291,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             horizon=5.0, telemetry=args.telemetry, faults=args.faults,
             fault_detection_delay=args.fault_detection_delay)
 
+    cache = _cache_from_args(args)
+    if cache is not None and (args.trace or args.record):
+        # A cached result has no packet stream to trace or sample.
+        print("warning: --cache ignored with --trace/--record (they need"
+              " a live run)", file=sys.stderr)
+        cache = None
+
     tracer = counters = None
     if args.trace:
         from repro.obs import CountingTracer, JsonlTracer, TeeTracer
@@ -245,12 +310,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         recorder = FlightRecorder(cadence=args.record_cadence,
                                   max_samples=args.record_max_samples)
-    try:
-        result = run_scenario(config, tracer=tracer, recorder=recorder)
-    finally:
-        if tracer is not None:
-            tracer.close()
-    print(result.metrics.summary())
+    metrics = cache.get(config) if cache is not None else None
+    if metrics is not None:
+        print("result cache: hit", file=sys.stderr)
+    else:
+        try:
+            result = run_scenario(config, tracer=tracer, recorder=recorder)
+        finally:
+            if tracer is not None:
+                tracer.close()
+        metrics = result.metrics
+        if cache is not None:
+            cache.put(config, metrics)
+    print(metrics.summary())
     if tracer is not None:
         print(f"wrote {args.trace} ({counters.total()} trace records)")
     if recorder is not None:
@@ -261,13 +333,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.csv or args.json:
         from repro.obs import build_manifest
 
-        manifest = build_manifest(config, result.metrics, counters=counters)
+        extra = ({"cache": cache.session_summary()}
+                 if cache is not None else None)
+        manifest = build_manifest(config, metrics, counters=counters,
+                                  extra=extra)
     if args.csv:
         print("wrote", write_metrics_csv(
-            args.csv, [result.metrics], manifest=manifest))
+            args.csv, [metrics], manifest=manifest))
     if args.json:
         print("wrote", write_metrics_json(
-            args.json, [result.metrics], manifest=manifest))
+            args.json, [metrics], manifest=manifest))
     return 0
 
 
@@ -280,30 +355,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config = default_config(args.sizes, n_flows=args.flows, seed=args.seed)
     if args.faults:
         config = config.with_(faults=args.faults)
+    cache = _cache_from_args(args)
     grid = [(s, l) for s in args.schemes for l in args.loads]
     configs = [config.with_(scheme=s, load=l) for s, l in grid]
     results = run_many(configs, processes=args.processes,
                        progress=args.progress, label="sweep",
-                       on_error="record", retries=args.retries)
+                       on_error="record", retries=args.retries,
+                       cache=cache, chunksize=args.chunksize)
     ok = [((s, l), m) for (s, l), m in zip(grid, results)
           if not isinstance(m, TaskFailure)]
     failed = [((s, l), m) for (s, l), m in zip(grid, results)
               if isinstance(m, TaskFailure)]
     rows = [sweep_row(s, l, m) for (s, l), m in ok]
     print(tabulate(rows, args.sizes))
+    n_cached = cache.hits if cache is not None else 0
+    print(f"sweep: {len(grid)} row(s) — "
+          f"{len(ok) - n_cached} computed, {n_cached} cached,"
+          f" {len(failed)} failed", file=sys.stderr)
     for (s, l), f in failed:
         print(f"FAILED scheme={s} load={l:g} after {f.attempts} attempt(s):"
               f" {f.error}", file=sys.stderr)
     if args.csv and ok:
         from repro.obs import build_manifest
 
-        manifest = build_manifest(
-            config, counters=None,
-            extra={"sweep": {"schemes": list(args.schemes),
-                             "loads": list(args.loads),
-                             "failed": [{"scheme": s, "load": l,
-                                         "error": f.error}
-                                        for (s, l), f in failed]}})
+        extra = {"sweep": {"schemes": list(args.schemes),
+                           "loads": list(args.loads),
+                           "failed": [{"scheme": s, "load": l,
+                                       "error": f.error}
+                                      for (s, l), f in failed]}}
+        if cache is not None:
+            extra["cache"] = cache.session_summary()
+        manifest = build_manifest(config, counters=None, extra=extra)
         path = write_metrics_csv(
             args.csv, [m for _, m in ok],
             extra_columns=[{"load": l, "swept_scheme": s} for (s, l), _ in ok],
@@ -366,11 +448,32 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import format_cache_bench, run_cache_bench, \
+        write_bench_json
+
+    row = run_cache_bench(seed=args.seed, cache_dir=args.cache_dir,
+                          processes=args.processes)
+    print(format_cache_bench(row))
+    json_path = args.json if args.json else "BENCH_pr5.json"
+    print("wrote", write_bench_json(json_path, [row]))
+    if not row["byte_identical"]:
+        print("ERROR: warm results differ from cold", file=sys.stderr)
+        return 2
+    if row["warm_misses"]:
+        print(f"ERROR: warm pass missed {row['warm_misses']} task(s)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import run_bench, write_bench_json
 
     if args.micro:
         return _cmd_bench_micro(args)
+    if args.cache_bench:
+        return _cmd_bench_cache(args)
     rows = run_bench(args.schemes, seed=args.seed,
                      record_path=args.record, html_path=args.html)
     for row in rows:
@@ -384,13 +487,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_figure(name: str) -> int:
+def _cmd_figure(args: argparse.Namespace) -> int:
     import importlib
+    import inspect
 
-    module_name, fn_name, fn_args = FIGURES[name]
+    module_name, fn_name, fn_args = FIGURES[args.name]
     module = importlib.import_module(module_name)
-    print(getattr(module, fn_name)(*fn_args))
+    fn = getattr(module, fn_name)
+    cache = _cache_from_args(args)
+    kwargs = {}
+    if cache is not None:
+        if "cache" in inspect.signature(fn).parameters:
+            kwargs["cache"] = cache
+        else:
+            # e.g. fig3/4/8/9/15 need live run internals (tracer series)
+            print(f"note: figure {args.name} cannot use the result cache"
+                  " (it needs full run internals, not just metrics)",
+                  file=sys.stderr)
+            cache = None
+    print(fn(*fn_args, **kwargs))
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)"
+              f" in {cache.root}", file=sys.stderr)
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ResultCache, parse_size
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        print(cache.stats().summary())
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        noun = "entry" if removed == 1 else "entries"
+        print(f"removed {removed} {noun} from {cache.root}")
+        return 0
+    if args.cache_command == "gc":
+        removed, freed = cache.gc(parse_size(args.max_size))
+        noun = "entry" if removed == 1 else "entries"
+        print(f"evicted {removed} {noun}, freed {freed / 1e6:.2f} MB"
+              f" from {cache.root}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
@@ -415,7 +555,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "figure":
-        return _cmd_figure(args.name)
+        return _cmd_figure(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "model":
         return _cmd_model(args)
     if args.command == "report":

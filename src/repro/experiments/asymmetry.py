@@ -83,6 +83,7 @@ def run_asymmetry_sweep(
     config: Optional[ScenarioConfig] = None,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     processes: Optional[int] = None,
+    cache=None,
 ) -> list[AsymmetryRow]:
     """Sweep the degradation level.
 
@@ -102,7 +103,7 @@ def run_asymmetry_sweep(
               else _overrides(base, rate_factor=float(v)))
         configs.append(base.with_(
             scheme=s, scheme_params=scheme_params_for(s), link_overrides=ov))
-    metrics = run_many(configs, processes=processes)
+    metrics = run_many(configs, processes=processes, cache=cache)
     return [
         AsymmetryRow(
             scheme=s,
@@ -147,11 +148,12 @@ def tabulate(rows: Sequence[AsymmetryRow], kind: str) -> str:
 
 def main(kind: str = "delay",
          values: Optional[Sequence[float]] = None,
-         config: Optional[ScenarioConfig] = None) -> str:
+         config: Optional[ScenarioConfig] = None,
+         cache=None) -> str:
     """Run one asymmetry sweep and render it."""
     if values is None:
         values = (0.0, 1e-3, 4e-3) if kind == "delay" else (1.0, 0.5, 0.25)
-    rows = run_asymmetry_sweep(kind, values, config=config)
+    rows = run_asymmetry_sweep(kind, values, config=config, cache=cache)
     return tabulate(rows, kind)
 
 

@@ -8,11 +8,19 @@ flight recording and renders its HTML report as a build artefact.
 The JSON rows are :func:`~repro.metrics.export.metrics_to_dict` records
 plus the telemetry extras (wall time, events/sec, peak RSS), so two
 bench files from different commits diff directly with ``repro diff``.
+
+``repro bench --cache-bench`` (:func:`run_cache_bench`) instead times a
+representative figure sweep twice through the result cache — cold
+(empty cache, everything simulated) then warm (everything served from
+disk) — verifies the warm pass is 100 % hits with results identical to
+the cold ones, and records both wall times (``BENCH_pr5.json``).
 """
 
 from __future__ import annotations
 
 import json
+import tempfile
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -21,7 +29,8 @@ from repro.metrics.export import metrics_to_dict
 from repro.obs.recorder import FlightRecorder, RecordedRun
 from repro.obs.report import write_html_report
 
-__all__ = ["bench_config", "run_bench", "write_bench_json"]
+__all__ = ["bench_config", "run_bench", "write_bench_json",
+           "run_cache_bench", "format_cache_bench"]
 
 DEFAULT_SCHEMES = ("ecmp", "rps", "tlb")
 
@@ -73,3 +82,81 @@ def write_bench_json(path: str | Path, rows: list[dict]) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(rows, indent=2))
     return path
+
+
+#: the cache-bench grid: small enough for CI minutes, large enough that
+#: per-task pool IPC and pickle cost are visible in the warm pass
+CACHE_BENCH_SCHEMES = ("ecmp", "rps", "tlb")
+CACHE_BENCH_LOADS = (0.3, 0.6)
+
+
+def run_cache_bench(
+    *,
+    seed: int = 1,
+    cache_dir: Optional[str | Path] = None,
+    schemes: Sequence[str] = CACHE_BENCH_SCHEMES,
+    loads: Sequence[float] = CACHE_BENCH_LOADS,
+    n_flows: int = 80,
+    processes: Optional[int] = None,
+) -> dict:
+    """Cold-vs-warm wall time of one representative figure sweep.
+
+    Runs the §6.2-style (scheme × load) grid twice against the same
+    cache directory (a throwaway temp dir unless ``cache_dir`` is
+    given): first with an empty cache, then again so every row resolves
+    from disk.  Returns one flat, ``repro diff``-able row recording both
+    wall times, the speedup, the warm pass's hit/miss counts, and
+    whether the warm results are byte-identical to the cold ones
+    (compared via their canonical JSON export form).
+    """
+    from repro.cache import ResultCache
+    from repro.experiments.largescale import default_config
+    from repro.experiments.runner import run_many
+
+    base = default_config("web_search", n_flows=n_flows, seed=seed)
+    grid = [(s, l) for s in schemes for l in loads]
+    configs = [base.with_(scheme=s, load=l) for s, l in grid]
+    root = Path(cache_dir) if cache_dir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-cache-bench-"))
+
+    cold_cache = ResultCache(root)
+    t0 = time.perf_counter()
+    cold = run_many(configs, processes=processes, cache=cold_cache)
+    cold_s = time.perf_counter() - t0
+
+    warm_cache = ResultCache(root)
+    t0 = time.perf_counter()
+    warm = run_many(configs, processes=processes, cache=warm_cache)
+    warm_s = time.perf_counter() - t0
+
+    identical = all(
+        json.dumps(metrics_to_dict(a), sort_keys=True)
+        == json.dumps(metrics_to_dict(b), sort_keys=True)
+        for a, b in zip(cold, warm)
+    )
+    return {
+        "bench": "cache_sweep",
+        "seed": seed,
+        "tasks": len(configs),
+        "n_flows": n_flows,
+        "cold_wall_s": round(cold_s, 3),
+        "warm_wall_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else float("inf"),
+        "cold_hits": cold_cache.hits,
+        "cold_misses": cold_cache.misses,
+        "warm_hits": warm_cache.hits,
+        "warm_misses": warm_cache.misses,
+        "byte_identical": identical,
+    }
+
+
+def format_cache_bench(row: dict) -> str:
+    return (
+        f"cache bench: {row['tasks']} task(s)\n"
+        f"  cold: {row['cold_wall_s']:.2f} s"
+        f" ({row['cold_misses']} computed)\n"
+        f"  warm: {row['warm_wall_s']:.2f} s"
+        f" ({row['warm_hits']} hit(s), {row['warm_misses']} miss(es))\n"
+        f"  speedup: {row['speedup']:g}x, results identical:"
+        f" {row['byte_identical']}"
+    )

@@ -51,6 +51,7 @@ def run_percentile_sweep(
     percentiles: Sequence[float] = DEFAULT_PERCENTILES,
     loads: Sequence[float] = DEFAULT_LOADS,
     processes: Optional[int] = None,
+    cache=None,
 ) -> list[AgnosticRow]:
     """Run TLB-p for each percentile and load (web-search workload)."""
     base = config if config is not None else websearch_config("web_search")
@@ -69,7 +70,7 @@ def run_percentile_sweep(
                 },
                 load=load,
             ))
-    metrics = run_many(configs, processes=processes)
+    metrics = run_many(configs, processes=processes, cache=cache)
     return [
         AgnosticRow(
             percentile=p,
@@ -107,9 +108,9 @@ def tabulate(rows: Sequence[AgnosticRow]) -> str:
     return "\n\n".join(out)
 
 
-def main(config: Optional[ScenarioConfig] = None) -> str:
+def main(config: Optional[ScenarioConfig] = None, cache=None) -> str:
     """Run the Fig. 12 sweep and render it."""
-    return tabulate(run_percentile_sweep(config))
+    return tabulate(run_percentile_sweep(config, cache=cache))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -103,6 +103,7 @@ def run_fault_comparison(
     config: Optional[ScenarioConfig] = None,
     processes: Optional[int] = None,
     retries: int = 1,
+    cache=None,
 ) -> list[FaultRow]:
     """Run every scheme through the same fault schedule.
 
@@ -114,7 +115,8 @@ def run_fault_comparison(
         spec = default_fault_spec(base)
     configs = [base.with_(scheme=s, faults=spec) for s in schemes]
     results = run_many(configs, processes=processes,
-                       on_error="record", retries=retries, label="faults")
+                       on_error="record", retries=retries, label="faults",
+                       cache=cache)
     rows = []
     for s, m in zip(schemes, results):
         if isinstance(m, TaskFailure):
@@ -159,12 +161,13 @@ def tabulate(rows: Sequence[FaultRow], spec: str) -> str:
 
 
 def main(spec: Optional[str] = None,
-         config: Optional[ScenarioConfig] = None) -> str:
+         config: Optional[ScenarioConfig] = None,
+         cache=None) -> str:
     """Run the dynamic-failure comparison and render it."""
     base = config if config is not None else fault_demo_config()
     if spec is None:
         spec = default_fault_spec(base)
-    rows = run_fault_comparison(spec, config=base)
+    rows = run_fault_comparison(spec, config=base, cache=cache)
     return tabulate(rows, spec)
 
 

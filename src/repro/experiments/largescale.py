@@ -96,13 +96,18 @@ def run_load_sweep(
     loads: Sequence[float] = DEFAULT_LOADS,
     processes: Optional[int] = None,
     progress: bool = False,
+    cache=None,
 ) -> list[LoadSweepRow]:
-    """The full (scheme × load) grid, parallelised across processes."""
+    """The full (scheme × load) grid, parallelised across processes.
+
+    ``cache`` (a :class:`~repro.cache.ResultCache`) makes re-runs of an
+    unchanged grid resolve from disk instead of re-simulating.
+    """
     config = config if config is not None else default_config()
     grid = [(s, l) for s in schemes for l in loads]
     configs = [config.with_(scheme=s, load=l) for s, l in grid]
     metrics = run_many(configs, processes=processes, progress=progress,
-                       label="load_sweep")
+                       label="load_sweep", cache=cache)
     return [
         sweep_row(s, l, m) for (s, l), m in zip(grid, metrics)
     ]
@@ -147,10 +152,11 @@ def tabulate(rows: Sequence[LoadSweepRow], workload: str) -> str:
 
 def main(workload: str = "web_search",
          config: Optional[ScenarioConfig] = None,
-         loads: Sequence[float] = DEFAULT_LOADS) -> str:
+         loads: Sequence[float] = DEFAULT_LOADS,
+         cache=None) -> str:
     """Run the sweep and render all four panels."""
     cfg = config if config is not None else default_config(workload)
-    rows = run_load_sweep(cfg, loads=loads)
+    rows = run_load_sweep(cfg, loads=loads, cache=cache)
     return tabulate(rows, workload)
 
 

@@ -10,6 +10,29 @@ only the small picklable :class:`~repro.metrics.collector.RunMetrics`.
 and on machines where fork is restricted; the default uses up to
 ``os.cpu_count()`` workers but never more than the number of tasks.
 
+Result cache
+------------
+Pass a :class:`~repro.cache.ResultCache` as ``cache=`` and the sweep
+becomes cache-aware: every config is first resolved against the store
+(hits fill their result slots instantly, before any worker process is
+spawned), only the misses are submitted, and each freshly computed
+result is written back the moment it completes — atomically, so
+concurrent sweeps sharing a cache directory cannot corrupt each other.
+Cache hits count as ``kind="cached"`` in the progress heartbeat.  The
+cache keys on the config (plus the code fingerprint); callers supplying
+a custom ``runner`` should only pass a cache if that runner is a
+deterministic function of the config.
+
+Chunking
+--------
+Once cache hits shrink the task list, per-task pool IPC (pickling a
+config, waking a worker, pickling metrics back) starts to show for
+sub-second scenarios.  ``chunksize`` batches several configs into one
+worker round-trip; the default picks 1 for small batches (and always
+when ``timeout`` is armed, which is per *submitted unit*) and grows the
+chunk for large ones.  Inside a chunk each task is still isolated: one
+raising task yields a per-item error record, not a lost chunk.
+
 Resilience
 ----------
 A multi-hour sweep must never die because one scenario crashed.  Three
@@ -33,6 +56,12 @@ time; a task still running ``T`` seconds after its worker picked it up
 is recorded as a timeout failure (its worker process cannot be
 reclaimed, so prefer generous timeouts).  Serial execution cannot be
 preempted and ignores ``timeout``.
+
+The pool loop waits event-driven on futures — with no ``timeout`` armed
+it blocks until a completion with zero scheduled wake-ups.  With a
+timeout it sleeps until the earliest armed deadline, polling on a short
+schedule only while tasks are still queued (a future's transition to
+*running* has no event to wait on).
 """
 
 from __future__ import annotations
@@ -50,10 +79,17 @@ from repro.experiments.common import ScenarioConfig, run_scenario_metrics
 from repro.metrics.collector import RunMetrics
 from repro.obs.progress import ProgressReporter
 
-__all__ = ["TaskFailure", "run_many", "sweep", "partition_results"]
+__all__ = ["TaskFailure", "TaskError", "run_many", "sweep", "partition_results"]
 
-#: how often the pool loop wakes to check timeouts / task starts (seconds)
+#: how often the pool loop wakes to detect queued→running transitions
+#: while a per-task timeout is armed (there is no event for "started")
 _POLL_INTERVAL = 0.05
+
+#: auto-chunking bounds: never batch more than this many tasks into one
+#: worker round-trip, and aim for this many waves of chunks per worker
+#: so stragglers cannot idle the rest of the pool
+_MAX_CHUNK = 16
+_CHUNK_WAVES = 4
 
 
 @dataclass
@@ -75,6 +111,34 @@ class TaskFailure:
     def __str__(self) -> str:  # pragma: no cover - formatting aid
         cause = "timed out" if self.timed_out else self.error
         return f"task {self.index} failed after {self.attempts} attempt(s): {cause}"
+
+
+class TaskError(RuntimeError):
+    """Raised under ``on_error="raise"`` when only the *formatted* error
+    of a failed task survives (chunked execution captures per-item
+    exceptions as strings inside the worker)."""
+
+
+@dataclass
+class _ChunkItemError:
+    """Picklable stand-in for one task's exception inside a chunk."""
+
+    error: str
+    traceback: str
+
+
+def _run_chunk(runner: Callable, configs: list) -> list:
+    """Worker-side: run a batch of configs, isolating per-item errors."""
+    out = []
+    for config in configs:
+        try:
+            out.append(runner(config))
+        except Exception as exc:
+            out.append(_ChunkItemError(
+                f"{type(exc).__name__}: {exc}",
+                "".join(_traceback.format_exception(
+                    type(exc), exc, exc.__traceback__))))
+    return out
 
 
 def partition_results(
@@ -125,6 +189,19 @@ def _run_serial_task(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _record(reporter: Optional[ProgressReporter], cache, config, result):
+    """Book-keeping for one finished task: progress kind + write-back."""
+    if isinstance(result, TaskFailure):
+        if reporter is not None:
+            reporter.task_done(kind="failed")
+        return result
+    if cache is not None:
+        cache.put(config, result)
+    if reporter is not None:
+        reporter.task_done(kind="computed")
+    return result
+
+
 def run_many(
     configs: Sequence[ScenarioConfig],
     *,
@@ -135,13 +212,16 @@ def run_many(
     on_error: str = "raise",
     retries: int = 0,
     timeout: Optional[float] = None,
+    cache=None,
+    chunksize: Optional[int] = None,
 ) -> list:
     """Run scenarios, preserving input order.
 
     Parameters
     ----------
     processes:
-        ``0`` or ``1`` → serial.  ``None`` → ``min(cpu_count, len(configs))``.
+        ``0`` or ``1`` → serial.  ``None`` → ``min(cpu_count, n_misses)``
+        (cache hits never spawn workers).
     runner:
         The per-config function; replaceable for tests.
     progress:
@@ -159,6 +239,13 @@ def run_many(
     timeout:
         Per-task running-time bound in seconds (parallel mode only; see
         the module docstring for semantics and caveats).
+    cache:
+        Optional :class:`~repro.cache.ResultCache`; hits are resolved
+        up front and misses written back on completion (see the module
+        docstring).
+    chunksize:
+        Tasks per worker round-trip; ``None`` picks automatically
+        (1 for small batches or when ``timeout`` is armed).
     """
     if on_error not in ("raise", "record"):
         raise ConfigError(f"on_error must be 'raise' or 'record', got {on_error!r}")
@@ -166,6 +253,8 @@ def run_many(
         raise ConfigError(f"retries must be >= 0, got {retries!r}")
     if timeout is not None and timeout <= 0:
         raise ConfigError(f"timeout must be positive, got {timeout!r}")
+    if chunksize is not None and chunksize < 1:
+        raise ConfigError(f"chunksize must be >= 1, got {chunksize!r}")
     configs = list(configs)
     if not configs:
         return []
@@ -174,23 +263,53 @@ def run_many(
         reporter = progress
     elif progress:
         reporter = ProgressReporter(len(configs), label=label)
-    if processes is None:
-        processes = min(os.cpu_count() or 1, len(configs))
-    if processes <= 1 or len(configs) == 1:
-        results = []
-        for i, c in enumerate(configs):
-            results.append(_run_serial_task(runner, c, i, retries, on_error))
-            if reporter is not None:
-                reporter.task_done()
+
+    results: list = [None] * len(configs)
+    # Resolve cache hits before sizing (or spawning) the pool: the
+    # fastest task is one never submitted.
+    if cache is not None:
+        todo: list[int] = []
+        for i, config in enumerate(configs):
+            hit = cache.get(config)
+            if hit is not None:
+                results[i] = hit
+                if reporter is not None:
+                    reporter.task_done(kind="cached")
+            else:
+                todo.append(i)
+    else:
+        todo = list(range(len(configs)))
+    if not todo:
         return results
-    return _run_pool(
-        configs, processes, runner, reporter,
+
+    if processes is None:
+        processes = min(os.cpu_count() or 1, len(todo))
+    if processes <= 1 or len(todo) == 1:
+        for i in todo:
+            results[i] = _record(
+                reporter, cache, configs[i],
+                _run_serial_task(runner, configs[i], i, retries, on_error))
+        return results
+    _run_pool(
+        configs, todo, results, processes, runner, reporter,
         on_error=on_error, retries=retries, timeout=timeout,
+        cache=cache, chunksize=chunksize,
     )
+    return results
+
+
+def _auto_chunksize(n_tasks: int, processes: int,
+                    timeout: Optional[float]) -> int:
+    if timeout is not None:
+        # timeout bounds one submitted unit; keep units = single tasks
+        return 1
+    return max(1, min(_MAX_CHUNK, n_tasks // (processes * _CHUNK_WAVES)))
 
 
 def _run_pool(
     configs: list,
+    todo: list[int],
+    results: list,
     processes: int,
     runner: Callable,
     reporter: Optional[ProgressReporter],
@@ -198,68 +317,109 @@ def _run_pool(
     on_error: str,
     retries: int,
     timeout: Optional[float],
-) -> list:
-    """The parallel path: retries, timeouts, and pool-failure fallback."""
+    cache,
+    chunksize: Optional[int],
+) -> None:
+    """The parallel path: chunking, retries, timeouts, pool fallback."""
     try:
         pool = ProcessPoolExecutor(max_workers=processes)
     except (OSError, ImportError, NotImplementedError):
         # No worker processes on this platform/sandbox: degrade to serial.
-        return [
-            _done(reporter, _run_serial_task(runner, c, i, retries, on_error))
-            for i, c in enumerate(configs)
-        ]
-    results: list = [None] * len(configs)
-    attempts = [1] * len(configs)
+        for i in todo:
+            results[i] = _record(
+                reporter, cache, configs[i],
+                _run_serial_task(runner, configs[i], i, retries, on_error))
+        return
+    if chunksize is None:
+        chunksize = _auto_chunksize(len(todo), processes, timeout)
+    attempts = {i: 1 for i in todo}
     started: dict[Future, Optional[float]] = {}
-    pending: dict[Future, int] = {}
+    pending: dict[Future, tuple[int, ...]] = {}
     any_timeout = False
 
-    def submit(idx: int) -> None:
+    def submit_single(idx: int) -> None:
+        # Direct submission preserves the original exception object for
+        # on_error="raise"; retries always come back through here.
         fut = pool.submit(runner, configs[idx])
-        pending[fut] = idx
+        pending[fut] = (idx,)
+        started[fut] = None
+
+    def submit_chunk(idxs: tuple[int, ...]) -> None:
+        if len(idxs) == 1:
+            submit_single(idxs[0])
+            return
+        fut = pool.submit(_run_chunk, runner, [configs[i] for i in idxs])
+        pending[fut] = idxs
         started[fut] = None
 
     def serial_remainder(indices: Iterable[int]) -> None:
         for idx in sorted(indices):
-            results[idx] = _done(
-                reporter,
+            results[idx] = _record(
+                reporter, cache, configs[idx],
                 _run_serial_task(runner, configs[idx], idx, retries, on_error))
 
+    def finish(idx: int, result) -> None:
+        results[idx] = _record(reporter, cache, configs[idx], result)
+
+    def item_failed(idx: int, error: str, traceback: str) -> bool:
+        """Retry or record one failed chunk item; True if rescheduled."""
+        if attempts[idx] <= retries:
+            attempts[idx] += 1
+            submit_single(idx)
+            return True
+        if on_error == "raise":
+            raise TaskError(f"{error}\n{traceback}")
+        finish(idx, TaskFailure(
+            index=idx, config=configs[idx], error=error,
+            traceback=traceback, attempts=attempts[idx]))
+        return False
+
     try:
-        for i in range(len(configs)):
-            submit(i)
+        for pos in range(0, len(todo), chunksize):
+            submit_chunk(tuple(todo[pos:pos + chunksize]))
         while pending:
-            # Without a timeout to police there is nothing to poll for;
-            # block until something completes.
-            poll = _POLL_INTERVAL if timeout is not None else None
-            done, _ = wait(set(pending), timeout=poll,
-                           return_when=FIRST_COMPLETED)
+            done, _ = wait(set(pending), timeout=_wait_budget(
+                pending, started, timeout), return_when=FIRST_COMPLETED)
             now = time.monotonic()
             for fut in done:
-                idx = pending.pop(fut)
+                idxs = pending.pop(fut)
                 started.pop(fut, None)
                 try:
-                    results[idx] = fut.result()
+                    payload = fut.result()
                 except BrokenProcessPool:
                     # The pool is dead (a worker was killed); rescue every
-                    # unfinished task — this one included — serially.
-                    rest = [idx] + sorted(pending.values())
+                    # unfinished task — this unit included — serially.
+                    rest = list(idxs)
+                    for other in pending.values():
+                        rest.extend(other)
                     pending.clear()
                     serial_remainder(rest)
-                    return results
+                    return
                 except Exception as exc:
-                    if attempts[idx] <= retries:
-                        attempts[idx] += 1
-                        submit(idx)
-                        continue
-                    if on_error == "raise":
-                        raise
-                    results[idx] = _failure(idx, configs[idx], exc, attempts[idx])
-                if reporter is not None and results[idx] is not None:
-                    reporter.task_done()
+                    # A single task's exception, or a chunk that failed
+                    # wholesale (e.g. its result would not pickle):
+                    # apply the retry budget to every task it carried.
+                    for idx in idxs:
+                        if attempts[idx] <= retries:
+                            attempts[idx] += 1
+                            submit_single(idx)
+                            continue
+                        if on_error == "raise":
+                            raise
+                        finish(idx, _failure(idx, configs[idx], exc,
+                                             attempts[idx]))
+                    continue
+                if len(idxs) == 1:
+                    finish(idxs[0], payload)
+                    continue
+                for idx, item in zip(idxs, payload):
+                    if isinstance(item, _ChunkItemError):
+                        item_failed(idx, item.error, item.traceback)
+                    else:
+                        finish(idx, item)
             if timeout is None:
                 continue
-            # Clock tasks from when a worker picked them up, not from
+            # Clock units from when a worker picked them up, not from
             # submission, so queueing behind a full pool never counts.
             for fut in list(pending):
                 if started[fut] is None and fut.running():
@@ -267,33 +427,52 @@ def _run_pool(
                 began = started[fut]
                 if began is None or now - began <= timeout:
                     continue
-                idx = pending.pop(fut)
+                idxs = pending.pop(fut)
                 started.pop(fut, None)
                 fut.cancel()  # running futures ignore this; slot is lost
                 any_timeout = True
-                if attempts[idx] <= retries:
-                    attempts[idx] += 1
-                    submit(idx)
-                    continue
-                timeout_exc = TimeoutError(
-                    f"task exceeded timeout={timeout:g}s")
-                if on_error == "raise":
-                    raise timeout_exc
-                results[idx] = _done(
-                    reporter,
-                    _failure(idx, configs[idx], timeout_exc, attempts[idx],
-                             timed_out=True))
-        return results
+                for idx in idxs:
+                    if attempts[idx] <= retries:
+                        attempts[idx] += 1
+                        submit_single(idx)
+                        continue
+                    timeout_exc = TimeoutError(
+                        f"task exceeded timeout={timeout:g}s")
+                    if on_error == "raise":
+                        raise timeout_exc
+                    finish(idx, _failure(idx, configs[idx], timeout_exc,
+                                         attempts[idx], timed_out=True))
     finally:
         # A hung worker would block a waiting shutdown forever; abandon
         # the pool instead once any task has timed out.
         pool.shutdown(wait=not any_timeout, cancel_futures=True)
 
 
-def _done(reporter: Optional[ProgressReporter], result):
-    if reporter is not None:
-        reporter.task_done()
-    return result
+def _wait_budget(
+    pending: dict[Future, tuple[int, ...]],
+    started: dict[Future, Optional[float]],
+    timeout: Optional[float],
+) -> Optional[float]:
+    """How long the pool loop may sleep before it must look around.
+
+    Without an armed ``timeout`` there is nothing to police: block
+    until a future completes (None → fully event-driven, no wake-ups).
+    With one, sleep exactly until the earliest running unit's deadline;
+    while any unit is still queued, cap the sleep at a short poll so
+    its queued→running transition is noticed promptly.
+    """
+    if timeout is None:
+        return None
+    now = time.monotonic()
+    deadlines = [began + timeout for began in started.values()
+                 if began is not None]
+    waiting_to_start = any(started[fut] is None for fut in pending)
+    if not deadlines:
+        return _POLL_INTERVAL if waiting_to_start else None
+    budget = max(0.0, min(deadlines) - now)
+    if waiting_to_start:
+        budget = min(budget, _POLL_INTERVAL)
+    return budget
 
 
 def sweep(
@@ -306,17 +485,21 @@ def sweep(
     on_error: str = "raise",
     retries: int = 0,
     timeout: Optional[float] = None,
+    cache=None,
+    chunksize: Optional[int] = None,
     **fixed,
 ) -> list[tuple[object, RunMetrics]]:
     """Vary one config field over ``values`` (other overrides in ``fixed``).
 
     Returns ``[(value, metrics), ...]`` in value order; with
     ``on_error="record"`` a crashed run's metrics slot holds its
-    :class:`TaskFailure` instead.
+    :class:`TaskFailure` instead.  ``cache``/``chunksize`` pass through
+    to :func:`run_many`.
     """
     values = list(values)
     configs = [base.with_(**{axis: v}, **fixed) for v in values]
     results = run_many(configs, processes=processes, progress=progress,
                        label=f"sweep:{axis}", on_error=on_error,
-                       retries=retries, timeout=timeout)
+                       retries=retries, timeout=timeout,
+                       cache=cache, chunksize=chunksize)
     return list(zip(values, results))

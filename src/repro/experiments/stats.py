@@ -73,6 +73,7 @@ def replicate(
     metrics: Optional[dict[str, Callable[[RunMetrics], float]]] = None,
     confidence: float = 0.95,
     processes: Optional[int] = None,
+    cache=None,
 ) -> dict[str, MetricCI]:
     """Run ``config`` once per seed; CI per metric."""
     if not seeds:
@@ -80,7 +81,8 @@ def replicate(
     if not 0 < confidence < 1:
         raise ConfigError("confidence must be in (0, 1)")
     metrics = metrics if metrics is not None else DEFAULT_METRICS
-    runs = run_many([config.with_(seed=s) for s in seeds], processes=processes)
+    runs = run_many([config.with_(seed=s) for s in seeds],
+                    processes=processes, cache=cache)
     out: dict[str, MetricCI] = {}
     for name, extract in metrics.items():
         samples = np.asarray([extract(m) for m in runs], dtype=float)
@@ -97,6 +99,7 @@ def paired_comparison(
     metric: Callable[[RunMetrics], float] = DEFAULT_METRICS["short_afct"],
     confidence: float = 0.95,
     processes: Optional[int] = None,
+    cache=None,
 ) -> MetricCI:
     """CI on the per-seed difference ``metric(A) − metric(B)``.
 
@@ -109,7 +112,7 @@ def paired_comparison(
     for s in seeds:
         configs.append(config.with_(scheme=scheme_a, seed=s))
         configs.append(config.with_(scheme=scheme_b, seed=s))
-    runs = run_many(configs, processes=processes)
+    runs = run_many(configs, processes=processes, cache=cache)
     diffs = np.asarray([
         metric(runs[2 * i]) - metric(runs[2 * i + 1])
         for i in range(len(seeds))

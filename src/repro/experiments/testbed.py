@@ -94,6 +94,7 @@ def run_flowcount_sweep(
     config: Optional[ScenarioConfig] = None,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     processes: Optional[int] = None,
+    cache=None,
 ) -> list[TestbedRow]:
     """Sweep ``axis`` in {"n_short" (Fig. 13), "n_long" (Fig. 14)}."""
     if axis not in ("n_short", "n_long"):
@@ -104,7 +105,7 @@ def run_flowcount_sweep(
         base.with_(scheme=s, scheme_params=scheme_params_for(s), **{axis: int(v)})
         for s, v in grid
     ]
-    metrics = run_many(configs, processes=processes)
+    metrics = run_many(configs, processes=processes, cache=cache)
     return [
         TestbedRow(
             scheme=s,
@@ -150,11 +151,12 @@ def tabulate(rows: Sequence[TestbedRow], axis: str) -> str:
 
 def main(axis: str = "n_short",
          values: Optional[Sequence[int]] = None,
-         config: Optional[ScenarioConfig] = None) -> str:
+         config: Optional[ScenarioConfig] = None,
+         cache=None) -> str:
     """Run one testbed sweep and render it."""
     if values is None:
         values = (60, 100, 140) if axis == "n_short" else (2, 4, 6)
-    rows = run_flowcount_sweep(axis, values, config=config)
+    rows = run_flowcount_sweep(axis, values, config=config, cache=cache)
     return tabulate(rows, axis)
 
 

@@ -1,0 +1,244 @@
+"""Result-cache keying and store behaviour.
+
+The keying tests pin the ISSUE's invalidation contract: any semantic
+config change (seed, load, fault spec, asymmetry, ...) must miss;
+observability-only knobs (trace verbosity, telemetry, live time series)
+must still hit; a code-fingerprint change must invalidate everything;
+and a corrupted entry must degrade to a miss, never a crash.
+"""
+
+import pickle
+
+import pytest
+
+import repro.cache.key as key_mod
+from repro.cache import (
+    NON_SEMANTIC_FIELDS,
+    ResultCache,
+    cache_key,
+    canonical_config,
+    code_fingerprint,
+    config_digest,
+    parse_size,
+)
+from repro.errors import ConfigError
+from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+from repro.metrics.export import metrics_to_dict
+
+FP = "f" * 64
+BASE = ScenarioConfig()
+
+
+def make_cache(tmp_path, fingerprint=FP):
+    return ResultCache(tmp_path / "cache", fingerprint=fingerprint)
+
+
+# -- key derivation --------------------------------------------------------
+
+
+@pytest.mark.parametrize("change", [
+    {"seed": 2},
+    {"load": 0.55},
+    {"scheme": "ecmp"},
+    {"scheme_params": {"flowlet_timeout": 1e-4}},
+    {"faults": "0.1:link_down:leaf0-spine1"},
+    {"fault_detection_delay": 0.002},
+    {"link_overrides": ((0, 1, 0.5, 0.0),)},
+    {"n_paths": 9},
+    {"horizon": 1.5},
+    {"workload": "poisson"},
+    {"n_short": 42},
+    {"transport": "tcp"},
+])
+def test_semantic_field_change_misses(change):
+    assert config_digest(BASE.with_(**change)) != config_digest(BASE)
+
+
+@pytest.mark.parametrize("change", [
+    {"trace_kinds": ("enqueue", "drop")},
+    {"telemetry": True},
+    {"timeseries": True},
+    {"bin_width": 0.5},
+])
+def test_non_semantic_knobs_still_hit(change):
+    assert config_digest(BASE.with_(**change)) == config_digest(BASE)
+
+
+def test_non_semantic_fields_all_exist_on_scenario_config():
+    # Guards against a rename leaving a stale entry silently excluding
+    # nothing (a typo here would never be noticed otherwise).
+    import dataclasses
+
+    names = {f.name for f in dataclasses.fields(ScenarioConfig)}
+    assert NON_SEMANTIC_FIELDS <= names
+
+
+def test_canonical_config_excludes_only_non_semantic():
+    canon = canonical_config(BASE)
+    assert set(canon) & NON_SEMANTIC_FIELDS == set()
+    assert "seed" in canon and "scheme" in canon and "faults" in canon
+
+
+def test_digest_is_stable_across_equal_configs():
+    assert config_digest(ScenarioConfig(seed=3)) == \
+        config_digest(ScenarioConfig(seed=3))
+
+
+def test_cache_key_folds_in_fingerprint():
+    assert cache_key(BASE, "a" * 64) != cache_key(BASE, "b" * 64)
+
+
+def test_cache_key_rejects_non_dataclass():
+    with pytest.raises(TypeError):
+        cache_key("not-a-config", FP)
+
+
+def test_code_fingerprint_tracks_source_tree(tmp_path):
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    (tree / "a.py").write_text("x = 1\n")
+    fp1 = code_fingerprint(tree)
+    key_mod._fingerprint_cache.clear()
+    (tree / "a.py").write_text("x = 2\n")
+    fp2 = code_fingerprint(tree)
+    key_mod._fingerprint_cache.clear()
+    (tree / "b.py").write_text("")
+    fp3 = code_fingerprint(tree)
+    assert len({fp1, fp2, fp3}) == 3
+
+
+# -- store behaviour -------------------------------------------------------
+
+
+def test_put_get_roundtrip_and_counters(tmp_path):
+    cache = make_cache(tmp_path)
+    assert cache.get(BASE) is None
+    assert cache.misses == 1 and cache.hits == 0
+    path = cache.put(BASE, {"afct": 1.25})
+    assert path is not None and path.exists()
+    assert cache.get(BASE) == {"afct": 1.25}
+    assert cache.hits == 1
+
+
+def test_fingerprint_change_invalidates_entries(tmp_path):
+    make_cache(tmp_path, "a" * 64).put(BASE, "old")
+    assert make_cache(tmp_path, "b" * 64).get(BASE) is None
+
+
+def test_corrupted_entry_is_a_miss_and_quarantined(tmp_path):
+    cache = make_cache(tmp_path)
+    path = cache.put(BASE, [1, 2, 3])
+    path.write_bytes(path.read_bytes()[: max(1, path.stat().st_size // 2)])
+    assert cache.get(BASE) is None
+    assert not path.exists()  # quarantined, ready to recompute
+    cache.put(BASE, [1, 2, 3])
+    assert cache.get(BASE) == [1, 2, 3]
+
+
+def test_garbage_bytes_entry_is_a_miss(tmp_path):
+    cache = make_cache(tmp_path)
+    path = cache.put(BASE, "real")
+    path.write_bytes(b"not a pickle at all")
+    assert cache.get(BASE) is None
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    cache = make_cache(tmp_path)
+    cache.put(BASE, list(range(100)))
+    leftovers = [p for p in (cache.root / "objects").iterdir()
+                 if not p.name.endswith(".pkl")]
+    assert leftovers == []
+
+
+def test_unpicklable_result_is_silently_uncacheable(tmp_path):
+    cache = make_cache(tmp_path)
+    assert cache.put(BASE, lambda: None) is None
+    assert cache.stats().entries == 0
+
+
+def test_non_dataclass_config_is_uncacheable(tmp_path):
+    cache = make_cache(tmp_path)
+    assert not cache.cacheable("a string")
+    assert cache.cacheable(BASE)
+    assert cache.get("a string") is None
+    assert cache.put("a string", 1) is None
+
+
+def test_stats_clear_and_index(tmp_path):
+    cache = make_cache(tmp_path)
+    for seed in (1, 2, 3):
+        cache.put(BASE.with_(seed=seed), f"result-{seed}")
+    stats = cache.stats()
+    assert stats.entries == 3
+    assert stats.total_bytes > 0
+    assert stats.by_scheme.get("tlb") == 3
+    assert "3" in stats.summary()
+    assert cache.clear() == 3
+    assert cache.stats().entries == 0
+
+
+def test_gc_evicts_oldest_first(tmp_path):
+    import os
+
+    cache = make_cache(tmp_path)
+    paths = {s: cache.put(BASE.with_(seed=s), f"r{s}") for s in (1, 2, 3)}
+    os.utime(paths[1], (1, 1))
+    os.utime(paths[2], (2, 2))
+    keep = paths[3].stat().st_size
+    removed, freed = cache.gc(keep)
+    assert removed == 2 and freed > 0
+    assert not paths[1].exists() and not paths[2].exists()
+    assert paths[3].exists()
+    assert cache.get(BASE.with_(seed=3)) == "r3"
+    # index was compacted to the survivor
+    assert len(cache._read_index()) == 1
+
+
+def test_gc_validates_max_bytes(tmp_path):
+    with pytest.raises(ConfigError):
+        make_cache(tmp_path).gc(-1)
+
+
+def test_concurrent_style_put_same_key_last_wins(tmp_path):
+    a = make_cache(tmp_path)
+    b = ResultCache(a.root, fingerprint=FP)
+    a.put(BASE, "from-a")
+    b.put(BASE, "from-b")
+    assert make_cache(tmp_path).get(BASE) == "from-b"
+    assert make_cache(tmp_path).stats().entries == 1
+
+
+def test_parse_size():
+    assert parse_size("1024") == 1024
+    assert parse_size("1K") == 1024
+    assert parse_size("1.5M") == int(1.5 * 1024 ** 2)
+    assert parse_size("2G") == 2 * 1024 ** 3
+    assert parse_size("500MB") == 500 * 1024 ** 2
+    for bad in ("", "x", "-1M"):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+
+def test_session_summary_shape(tmp_path):
+    cache = make_cache(tmp_path)
+    cache.get(BASE)
+    summary = cache.session_summary()
+    assert summary["misses"] == 1 and summary["hits"] == 0
+    assert summary["dir"] == str(cache.root)
+
+
+# -- real metrics round-trip ----------------------------------------------
+
+
+def test_cached_run_metrics_identical_to_fresh(tmp_path):
+    """A cached RunMetrics must export byte-identically to a fresh one
+    (the `repro diff` acceptance criterion, in miniature)."""
+    config = ScenarioConfig(scheme="ecmp", n_short=6, n_long=1, n_paths=4,
+                            hosts_per_leaf=8, horizon=0.4)
+    fresh = run_scenario_metrics(config)
+    cache = make_cache(tmp_path)
+    cache.put(config, fresh)
+    cached = cache.get(config)
+    assert cached is not fresh
+    assert metrics_to_dict(cached) == metrics_to_dict(fresh)
+    assert pickle.dumps(cached, protocol=4) == pickle.dumps(fresh, protocol=4)

@@ -191,3 +191,130 @@ def test_bench_command_emits_json_and_report(capsys, tmp_path):
     assert 'id="panel-qth"' in html_path.read_text(encoding="utf-8")
     # bench rows are diffable against themselves
     assert main(["diff", str(json_path), str(json_path)]) == 0
+
+
+# -- result cache ----------------------------------------------------------
+
+
+def test_cache_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(["run"])
+    assert args.cache is False and args.cache_dir is None
+    args = parser.parse_args(["sweep", "--cache", "--chunksize", "4"])
+    assert args.cache is True and args.chunksize == 4
+    args = parser.parse_args(["run", "--no-cache"])
+    assert args.cache is False
+    args = parser.parse_args(["figure", "fig10", "--cache-dir", "/tmp/c"])
+    assert args.cache_dir == "/tmp/c"  # implies --cache in _cache_from_args
+
+
+def test_cache_subcommand_stats_clear_gc(capsys, tmp_path):
+    from repro.cache import ResultCache
+    from repro.experiments.common import ScenarioConfig
+
+    root = tmp_path / "cache"
+    cache = ResultCache(root, fingerprint="0" * 64)
+    for seed in (1, 2):
+        cache.put(ScenarioConfig(seed=seed), {"seed": seed})
+    assert main(["cache", "--cache-dir", str(root), "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "2" in out and str(root) in out
+    assert main(["cache", "--cache-dir", str(root), "gc",
+                 "--max-size", "0"]) == 0
+    assert "evicted 2 entries" in capsys.readouterr().out
+    assert main(["cache", "--cache-dir", str(root), "clear"]) == 0
+    assert "removed 0 entries" in capsys.readouterr().out
+
+
+def test_run_command_cache_cold_then_warm(capsys, tmp_path):
+    root = tmp_path / "cache"
+    argv = ["run", "--scheme", "ecmp", "--short-flows", "6",
+            "--long-flows", "1", "--paths", "4",
+            "--cache-dir", str(root)]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert "result cache: hit" not in cold.err
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert "result cache: hit" in warm.err
+    assert warm.out == cold.out  # identical summary either way
+
+
+def test_run_command_cache_ignored_with_trace(capsys, tmp_path):
+    assert main(["run", "--scheme", "ecmp", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--trace", str(tmp_path / "t.jsonl")]) == 0
+    err = capsys.readouterr().err
+    assert "--cache ignored" in err
+    assert not (tmp_path / "cache").exists() or not list(
+        (tmp_path / "cache" / "objects").iterdir())
+
+
+def test_sweep_command_cache_warm_pass(capsys, tmp_path):
+    import json
+
+    root = tmp_path / "cache"
+    csv_cold, csv_warm = tmp_path / "cold.csv", tmp_path / "warm" / "w.csv"
+    base = ["sweep", "--schemes", "ecmp", "--loads", "0.3", "0.5",
+            "--flows", "10", "--cache-dir", str(root)]
+    assert main(base + ["--csv", str(csv_cold)]) == 0
+    cold = capsys.readouterr()
+    assert "2 computed, 0 cached, 0 failed" in cold.err
+    assert main(base + ["--csv", str(csv_warm)]) == 0
+    warm = capsys.readouterr()
+    assert "0 computed, 2 cached, 0 failed" in warm.err
+    assert csv_warm.read_text() == csv_cold.read_text()
+    manifest = json.loads((csv_warm.parent / "manifest.json").read_text())
+    assert manifest["cache"]["hits"] == 2
+    assert manifest["cache"]["misses"] == 0
+
+
+def test_figure_command_threads_cache(capsys, monkeypatch, tmp_path):
+    import sys
+    import types
+
+    mod = types.ModuleType("_fake_fig")
+    seen = {}
+
+    def cacheable_fig(sizes, cache=None):
+        seen["cache"] = cache
+        return f"fake figure {sizes}"
+
+    def plain_fig(sizes):
+        return f"plain figure {sizes}"
+
+    mod.cacheable_fig = cacheable_fig
+    mod.plain_fig = plain_fig
+    monkeypatch.setitem(sys.modules, "_fake_fig", mod)
+
+    monkeypatch.setitem(FIGURES, "fig10",
+                        ("_fake_fig", "cacheable_fig", ("web_search",)))
+    assert main(["figure", "fig10", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+    captured = capsys.readouterr()
+    assert "fake figure web_search" in captured.out
+    assert seen["cache"] is not None
+    assert "0 hit(s), 0 miss(es)" in captured.err
+
+    monkeypatch.setitem(FIGURES, "fig10",
+                        ("_fake_fig", "plain_fig", ("web_search",)))
+    assert main(["figure", "fig10", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+    captured = capsys.readouterr()
+    assert "plain figure web_search" in captured.out
+    assert "cannot use the result cache" in captured.err
+
+
+def test_run_cache_bench_tiny(tmp_path):
+    from repro.experiments.bench import format_cache_bench, run_cache_bench
+
+    row = run_cache_bench(seed=1, cache_dir=tmp_path / "cache",
+                          schemes=("ecmp",), loads=(0.3,), n_flows=5,
+                          processes=0)
+    assert row["tasks"] == 1
+    assert row["cold_misses"] == 1 and row["cold_hits"] == 0
+    assert row["warm_hits"] == 1 and row["warm_misses"] == 0
+    assert row["byte_identical"] is True
+    text = format_cache_bench(row)
+    assert "results identical: True" in text
