@@ -50,6 +50,8 @@ NON_SEMANTIC_FIELDS = frozenset({
     "telemetry",     # wall-clock profiling into extras
     "timeseries",    # live BinnedSeries trackers (not part of RunMetrics)
     "bin_width",     # bin width of those live trackers
+    "spans",         # per-flow span forensics (observability artefact)
+    "profile",       # kernel self-profiler (wall-time attribution)
 })
 
 

@@ -14,10 +14,15 @@ Commands
 ``model``
     Evaluate the Eq. 9 threshold for given parameters (no simulation).
 ``trace summarize``
-    Aggregate a JSONL trace file into per-kind (and per-node) tables.
+    Aggregate a JSONL trace file into per-kind (and per-node) tables
+    (``--flow`` / ``--kind`` restrict to one flow or trace kind).
+``explain``
+    Read a span file (``repro run --spans``) and name where each tail
+    flow's completion time went, hop by hop.
 ``report``
     Render a flight recording (``repro run --record``) as a
-    self-contained HTML dashboard.
+    self-contained HTML dashboard; ``--spans`` appends the tail-
+    forensics section.
 ``diff``
     Compare two metric exports (JSON/CSV/recording) metric-by-metric;
     exits non-zero on regressions beyond tolerance.
@@ -26,9 +31,11 @@ Commands
     optional recorded-run HTML report.  ``bench --micro`` instead runs
     the hot-path micro-benchmarks (events/sec, packets/sec, determinism
     checksums) and can compare against a committed baseline
-    (``--baseline``, ``--require-identical``).  ``bench --cache-bench``
-    times the same sweep cold then warm through the result cache
-    (``BENCH_pr5.json``).
+    (``--baseline``, ``--require-identical``); ``--profile`` attributes
+    wall time to kernel handlers.  ``bench --cache-bench`` times the
+    same sweep cold then warm through the result cache
+    (``BENCH_pr5.json``).  ``bench --spans-smoke`` measures span-
+    collection overhead and verifies spans never change the simulation.
 ``cache``
     Result-cache maintenance: ``stats``, ``clear``, ``gc --max-size``.
 
@@ -118,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", help="write metrics to this JSON file")
     run.add_argument("--trace", metavar="FILE",
                      help="stream a JSONL trace of the run to FILE")
+    run.add_argument("--spans", metavar="FILE",
+                     help="collect per-flow spans and write the span file"
+                     " here (.spans.json or .spans.json.gz; see"
+                     " `repro explain`)")
     run.add_argument("--telemetry", action="store_true",
                      help="profile the run (wall time, events/sec, peak RSS)")
     run.add_argument("--record", metavar="FILE",
@@ -182,12 +193,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also print the per-(kind, node) breakdown")
     summ.add_argument("--top", type=int, default=None, metavar="N",
                       help="limit the per-node table to each kind's N busiest nodes")
+    summ.add_argument("--flow", type=int, default=None, metavar="ID",
+                      help="only count records tagged with this flow id")
+    summ.add_argument("--kind", default=None, metavar="KIND",
+                      help="only count records of this trace kind"
+                      " (e.g. drop, reroute)")
+
+    explain = sub.add_parser(
+        "explain", help="attribute tail-flow completion time from a span file")
+    explain.add_argument("path", help="span file written by `repro run --spans`")
+    explain.add_argument("--flow", type=int, default=None, metavar="ID",
+                         help="explain this one flow instead of the tail")
+    explain.add_argument("--tail", type=int, default=5, metavar="N",
+                         help="number of slowest flows to explain (default 5)")
+    explain.add_argument("--hops", type=int, default=12, metavar="N",
+                         help="per-flow hop-timeline rows to print (default 12)")
+    explain.add_argument("--format", choices=("text", "json"), default="text",
+                         help="output format (default text)")
 
     rep = sub.add_parser("report", help="render a flight recording as HTML")
     rep.add_argument("path", help="recording written by `repro run --record`")
     rep.add_argument("--html", metavar="FILE",
                      help="write the dashboard here (default: print the"
                      " recording's summary row)")
+    rep.add_argument("--spans", metavar="FILE",
+                     help="span file for the same run; adds the"
+                     " tail-forensics section to the HTML")
 
     diff = sub.add_parser(
         "diff", help="compare two metric exports; non-zero exit on regression")
@@ -226,6 +257,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--require-identical", action="store_true",
                        help="micro mode: with --baseline, exit non-zero if"
                        " any determinism checksum drifted")
+    bench.add_argument("--profile", action="store_true",
+                       help="micro mode: attribute wall time to kernel"
+                       " handlers (perturbs throughput; rows are not"
+                       " baseline-comparable)")
+    bench.add_argument("--spans-smoke", action="store_true",
+                       help="measure span-collection overhead and verify"
+                       " spans leave the simulated outcome untouched")
+    bench.add_argument("--max-overhead-pct", type=float, default=10.0,
+                       metavar="PCT", help="spans-smoke mode: events/sec"
+                       " overhead past this warns (default 10)")
     bench.add_argument("--cache-bench", action="store_true",
                        help="time a representative sweep cold vs warm"
                        " through the result cache (JSON default:"
@@ -291,11 +332,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             horizon=5.0, telemetry=args.telemetry, faults=args.faults,
             fault_detection_delay=args.fault_detection_delay)
 
+    if args.spans:
+        config = config.with_(spans=True)
+
     cache = _cache_from_args(args)
-    if cache is not None and (args.trace or args.record):
+    if cache is not None and (args.trace or args.record or args.spans):
         # A cached result has no packet stream to trace or sample.
-        print("warning: --cache ignored with --trace/--record (they need"
-              " a live run)", file=sys.stderr)
+        print("warning: --cache ignored with --trace/--record/--spans"
+              " (they need a live run)", file=sys.stderr)
         cache = None
 
     tracer = counters = None
@@ -329,6 +373,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         saved = recorder.save(args.record)
         print(f"wrote {saved} ({recorder.n_samples} samples, "
               f"final cadence {recorder.cadence_now * 1e6:.0f} µs)")
+    if args.spans and result.spans is not None:
+        saved = result.spans.save(args.spans)
+        totals = result.spans.data["totals"]
+        retained = sum((totals.get("retained") or {}).values())
+        print(f"wrote {saved} ({totals['flows']} flows, "
+              f"{retained} with full hop detail; see `repro explain`)")
     manifest = None
     if args.csv or args.json:
         from repro.obs import build_manifest
@@ -397,9 +447,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     from repro.obs import format_trace_summary, summarize_trace
 
-    summary = summarize_trace(args.path)
+    summary = summarize_trace(args.path, flow=args.flow, kind=args.kind)
     print(format_trace_summary(
         summary, per_node=args.per_node, top=args.top))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.spans import explain_payload, format_explain, load_spans
+
+    data = load_spans(args.path)
+    if args.format == "json":
+        import json
+
+        payload = explain_payload(data, flow=args.flow, tail=args.tail)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(format_explain(data, flow=args.flow, tail=args.tail,
+                         hops=args.hops), end="")
     return 0
 
 
@@ -407,10 +472,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import RecordedRun, write_html_report
 
     run = RecordedRun.load(args.path)
+    spans = None
+    if args.spans:
+        from repro.obs.spans import load_spans
+
+        spans = load_spans(args.spans)
     if args.html:
-        path = write_html_report(run, args.html, source=args.path)
+        path = write_html_report(run, args.html, source=args.path, spans=spans)
         print(f"wrote {path}")
         return 0
+    if args.spans:
+        print("warning: --spans only affects --html output", file=sys.stderr)
     for key, value in run.summary_row().items():
         print(f"{key:>24}: {value}")
     return 0
@@ -432,7 +504,7 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
     from repro.obs.diff import load_rows
 
     rows = run_microbench(seed=args.seed, scale=args.micro_scale,
-                          repeats=args.repeats)
+                          repeats=args.repeats, profile=args.profile)
     drift: list[str] = []
     if args.baseline:
         warnings, drift = compare_to_baseline(rows, load_rows(args.baseline))
@@ -441,10 +513,42 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
         for line in drift:
             print(f"DETERMINISM DRIFT: {line}", file=sys.stderr)
     print(format_rows(rows))
-    json_path = args.json if args.json else "BENCH_pr4.json"
-    print("wrote", write_microbench_json(json_path, rows))
+    if args.profile:
+        from repro.obs.profiler import format_profile
+
+        for row in rows:
+            if "profile" in row:
+                print(f"\n{row['scenario']}:")
+                print(format_profile(row["profile"]))
+    if args.profile and not args.json:
+        # Profiled throughput is perturbed; never let it silently
+        # replace the committed determinism/throughput baseline.
+        print("note: --profile without --json: rows not written",
+              file=sys.stderr)
+    else:
+        json_path = args.json if args.json else "BENCH_pr4.json"
+        print("wrote", write_microbench_json(json_path, rows))
     if drift and args.require_identical:
         return 2
+    return 0
+
+
+def _cmd_bench_spans_smoke(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        format_spans_smoke, run_spans_smoke, write_bench_json)
+
+    row = run_spans_smoke(seed=args.seed, repeats=args.repeats)
+    print(format_spans_smoke(row))
+    if args.json:
+        print("wrote", write_bench_json(args.json, [row]))
+    if not row["events_identical"] or not row["outcome_identical"]:
+        print("ERROR: span collection changed the simulated outcome",
+              file=sys.stderr)
+        return 2
+    if row["overhead_pct"] > args.max_overhead_pct:
+        print(f"warning: span overhead {row['overhead_pct']:.1f}% exceeds"
+              f" {args.max_overhead_pct:g}% (machine-dependent; advisory)",
+              file=sys.stderr)
     return 0
 
 
@@ -474,6 +578,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_micro(args)
     if args.cache_bench:
         return _cmd_bench_cache(args)
+    if args.spans_smoke:
+        return _cmd_bench_spans_smoke(args)
     rows = run_bench(args.schemes, seed=args.seed,
                      record_path=args.record, html_path=args.html)
     for row in rows:
@@ -562,6 +668,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_model(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "diff":
         return _cmd_diff(args)
     if args.command == "bench":

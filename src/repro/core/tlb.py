@@ -71,6 +71,11 @@ class TlbBalancer(LoadBalancer):
         #: empty by default so the tick pays nothing when nobody listens
         self.decision_listeners: list = []
         self.long_reroutes = 0
+        #: regime of the latest q_th decision ("fixed" until the first
+        #: tick, or when fixed_qth pins the threshold) — stamped onto
+        #: reroute trace records so span timelines can say which
+        #: granularity regime triggered a path move
+        self.last_regime: str = "fixed"
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -109,6 +114,7 @@ class TlbBalancer(LoadBalancer):
             self.deadline_stats.value(),
         )
         self.qth = decision.qth
+        self.last_regime = decision.regime
         if self.record_history:
             self.qth_history.append((now, decision))
         if self.decision_listeners:
@@ -155,6 +161,7 @@ class TlbBalancer(LoadBalancer):
                                 now, "reroute", node=self.switch.name,
                                 flow=pkt.flow_id, from_port=idx, to_port=new_idx,
                                 qlen=ports[idx].queue_length, qth=self.qth,
+                                regime=self.last_regime,
                             )
                     idx = new_idx
         else:

@@ -30,7 +30,8 @@ from repro.obs.recorder import FlightRecorder, RecordedRun
 from repro.obs.report import write_html_report
 
 __all__ = ["bench_config", "run_bench", "write_bench_json",
-           "run_cache_bench", "format_cache_bench"]
+           "run_cache_bench", "format_cache_bench",
+           "run_spans_smoke", "format_spans_smoke"]
 
 DEFAULT_SCHEMES = ("ecmp", "rps", "tlb")
 
@@ -148,6 +149,82 @@ def run_cache_bench(
         "warm_misses": warm_cache.misses,
         "byte_identical": identical,
     }
+
+
+def run_spans_smoke(
+    *,
+    seed: int = 1,
+    repeats: int = 3,
+    scheme: str = "tlb",
+) -> dict:
+    """Span-tracing overhead check (``repro bench --spans-smoke``).
+
+    Runs the smoke scenario with spans off and on (best-of-``repeats``
+    wall time each), and returns one flat row recording:
+
+    * ``outcome_identical`` / ``events_identical`` — the spans-off and
+      spans-on runs must simulate the *same* thing: identical metric
+      exports and identical kernel event counts.  Span collection is a
+      passive observer; any divergence is a correctness bug and the CI
+      gate hard-fails on it.
+    * ``overhead_pct`` — relative events/sec cost of collecting spans,
+      gated softly in CI (machine-dependent, warn past a threshold).
+    """
+    base = bench_config(scheme, seed=seed)
+    with_spans = base.with_(spans=True)
+
+    def best_of(config: ScenarioConfig) -> dict:
+        best = None
+        for _ in range(max(1, repeats)):
+            result = run_scenario(config)
+            wall = result.metrics.extras["wall_time_s"]
+            if best is None or wall < best["wall_s"]:
+                best = {
+                    "wall_s": wall,
+                    "events": result.metrics.extras["events"],
+                    "row": metrics_to_dict(result.metrics),
+                }
+        return best
+
+    off = best_of(base)
+    on = best_of(with_spans)
+
+    def outcome(row: dict) -> dict:
+        # drop machine-dependent telemetry columns before comparing
+        return {k: v for k, v in row.items()
+                if not any(tag in k for tag in
+                           ("wall", "rss", "per_s", "per_sec", "ratio"))}
+
+    eps_off = off["events"] / off["wall_s"] if off["wall_s"] > 0 else 0.0
+    eps_on = on["events"] / on["wall_s"] if on["wall_s"] > 0 else 0.0
+    # events/sec regression: how much throughput collecting spans costs
+    overhead = (1.0 - eps_on / eps_off) * 100 if eps_off > 0 else 0.0
+    return {
+        "bench": "spans_smoke",
+        "scheme": scheme,
+        "seed": seed,
+        "repeats": repeats,
+        "events_off": off["events"],
+        "events_on": on["events"],
+        "events_identical": off["events"] == on["events"],
+        "outcome_identical": outcome(off["row"]) == outcome(on["row"]),
+        "events_per_s_off": round(eps_off),
+        "events_per_s_on": round(eps_on),
+        "overhead_pct": round(max(0.0, overhead), 1),
+    }
+
+
+def format_spans_smoke(row: dict) -> str:
+    return (
+        f"spans smoke ({row['scheme']}, seed={row['seed']}):\n"
+        f"  spans off: {row['events_per_s_off']:>12,} ev/s"
+        f" ({row['events_off']:,} events)\n"
+        f"  spans on:  {row['events_per_s_on']:>12,} ev/s"
+        f" ({row['events_on']:,} events)\n"
+        f"  overhead: {row['overhead_pct']:.1f}%,"
+        f" events identical: {row['events_identical']},"
+        f" outcome identical: {row['outcome_identical']}"
+    )
 
 
 def format_cache_bench(row: dict) -> str:

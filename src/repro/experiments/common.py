@@ -119,6 +119,12 @@ class ScenarioConfig:
     #: profile the run's wall-clock behaviour (events/sec, sim/wall
     #: ratio, peak RSS) into ``RunMetrics.extras``
     telemetry: bool = False
+    #: assemble per-flow span forensics (:mod:`repro.obs.spans`) with
+    #: deterministic tail sampling; observability-only, cache-neutral
+    spans: bool = False
+    #: attribute kernel wall time to handler components
+    #: (:mod:`repro.obs.profiler`); observability-only, cache-neutral
+    profile: bool = False
     short_threshold: int = KB(100)
 
     def __post_init__(self) -> None:
@@ -197,6 +203,10 @@ class ScenarioResult:
     injector: Any = None
     #: the finalized :class:`~repro.obs.FlightRecorder`, or None
     recorder: Any = None
+    #: the finalized :class:`~repro.obs.spans.SpanBuffer`, or None
+    spans: Any = None
+    #: the :class:`~repro.obs.profiler.EngineProfiler`, or None
+    profiler: Any = None
 
     @property
     def completed_all(self) -> bool:
@@ -245,7 +255,9 @@ def _install_workload(config: ScenarioConfig, net, registry) -> WorkloadResult:
     return wl.install()
 
 
-def run_scenario(config: ScenarioConfig, *, tracer=None, recorder=None) -> ScenarioResult:
+def run_scenario(
+    config: ScenarioConfig, *, tracer=None, recorder=None, spans=None
+) -> ScenarioResult:
     """Build, run and measure one scenario.
 
     Runs in ``slice_width`` steps until either every flow has delivered
@@ -263,16 +275,40 @@ def run_scenario(config: ScenarioConfig, *, tracer=None, recorder=None) -> Scena
         FCT subscription) and its queueing-delay tap is tee'd into the
         trace stream; it is stopped and finalized before returning.
         ``None`` (the default) leaves every run path untouched.
+    spans:
+        Optional :class:`~repro.obs.spans.SpanBuffer`, overriding the
+        one ``config.spans`` would build.  It is installed as a trace
+        sink, attached to the registry/balancers, and finalized before
+        returning (the caller saves it).
     """
+    if spans is None and config.spans:
+        from repro.obs.spans import SpanBuffer
+
+        spans = SpanBuffer(config.seed, short_threshold=config.short_threshold)
+    # Assemble the trace sink stack.  A lone sink is installed directly
+    # (no tee indirection on the hot path); several are tee'd.
+    sinks = []
+    base = tracer
+    if base is None and config.trace_kinds:
+        base = RecordingTracer(set(config.trace_kinds))
+    if base is not None:
+        sinks.append(base)
+    if spans is not None:
+        sinks.append(spans)
     if recorder is not None:
+        sinks.append(recorder.wait_tap())
+    if len(sinks) == 1:
+        tracer = sinks[0]
+    elif sinks:
         from repro.obs.tracers import TeeTracer
 
-        base = tracer
-        if base is None and config.trace_kinds:
-            base = RecordingTracer(set(config.trace_kinds))
-        tap = recorder.wait_tap()
-        tracer = TeeTracer(base, tap) if base is not None else tap
+        tracer = TeeTracer(*sinks)
+    else:
+        tracer = None
     net, tracer = _build_network(config, tracer)
+    # If the run dies mid-flight, flush durable sinks so the trace tail
+    # (the part forensics needs) still reaches disk.
+    net.sim.add_cleanup_hook(tracer.flush)
     registry = FlowRegistry()
     collector = MetricsCollector(
         registry,
@@ -293,8 +329,15 @@ def run_scenario(config: ScenarioConfig, *, tracer=None, recorder=None) -> Scena
     if recorder is not None:
         recorder.attach(net, registry=registry, balancers=balancers,
                         short_threshold=config.short_threshold)
+    if spans is not None:
+        spans.attach(registry, balancers)
 
     sim = net.sim
+    profiler = None
+    if config.profile:
+        from repro.obs.profiler import EngineProfiler
+
+        profiler = EngineProfiler().install(sim)
     telemetry = None
     if config.telemetry:
         from repro.obs.telemetry import RunTelemetry
@@ -323,9 +366,14 @@ def run_scenario(config: ScenarioConfig, *, tracer=None, recorder=None) -> Scena
             lb.path_events for lb in balancers.values())
     if telemetry is not None:
         metrics.extras.update(telemetry.as_extras())
+    if profiler is not None:
+        metrics.extras["profile"] = profiler.report(top=16)
     if recorder is not None:
         recorder.stop()
         recorder.finalize(scheme=config.scheme, seed=config.seed, horizon=sim.now)
+    if spans is not None:
+        spans.finalize(horizon=sim.now)
+        metrics.extras["spans"] = spans.extras()
     tracer.flush()
     return ScenarioResult(
         config=config,
@@ -338,6 +386,8 @@ def run_scenario(config: ScenarioConfig, *, tracer=None, recorder=None) -> Scena
         tracer=tracer,
         injector=injector,
         recorder=recorder,
+        spans=spans,
+        profiler=profiler,
     )
 
 

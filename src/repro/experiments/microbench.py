@@ -62,6 +62,20 @@ def _checksum(payload: dict) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
+def _make_profiler(profile: bool):
+    """One profiler shared across a scenario's repeats (shares stay ratios).
+
+    Only the *measured* runs are profiled; the fixed-size determinism
+    probes always run on the unprofiled fast path so their checksums
+    stay comparable to unprofiled baselines.
+    """
+    if not profile:
+        return None
+    from repro.obs.profiler import EngineProfiler
+
+    return EngineProfiler()
+
+
 # -- event storm --------------------------------------------------------
 
 
@@ -95,8 +109,10 @@ class _StormActor:
         self.timeout_fires += 1
 
 
-def _run_event_storm(seed: int, n_actors: int, fires: int) -> dict:
+def _run_event_storm(seed: int, n_actors: int, fires: int, profiler=None) -> dict:
     sim = Simulator()
+    if profiler is not None:
+        sim.set_profiler(profiler)
     # stdlib Random: a numpy Generator's scalar random() costs more than
     # a whole kernel event and would mask the thing being measured.
     rng = random.Random(derive_seed(seed, "microbench.storm"))
@@ -118,17 +134,23 @@ def _run_event_storm(seed: int, n_actors: int, fires: int) -> dict:
     }
 
 
-def _event_storm(seed: int, scale: float, repeats: int) -> dict:
+def _event_storm(seed: int, scale: float, repeats: int, profile: bool = False) -> dict:
+    profiler = _make_profiler(profile)
     measured = _best_of(
-        repeats, lambda: _run_event_storm(seed, 50, max(2, int(600 * scale))))
+        repeats,
+        lambda: _run_event_storm(seed, 50, max(2, int(600 * scale)),
+                                 profiler=profiler))
     probe = _run_event_storm(seed + 1, 20, 200)  # fixed size: scale-free
-    return {
+    row = {
         "scenario": "event_storm",
         "events": measured["events"],
         "wall_s": round(measured["wall_s"], 6),
         "throughput_events_per_s": round(measured["events"] / measured["wall_s"]),
         "checksum": _checksum(probe["checksum_payload"]),
     }
+    if profiler is not None:
+        row["profile"] = profiler.report(top=8)
+    return row
 
 
 # -- port saturation ----------------------------------------------------
@@ -149,12 +171,14 @@ class _CountingSink:
         self.bytes += pkt.size
 
 
-def _run_port_saturation(seed: int, n_packets: int) -> dict:
+def _run_port_saturation(seed: int, n_packets: int, profiler=None) -> dict:
     from repro.net.packet import Packet
     from repro.net.port import Port
     from repro.units import Gbps
 
     sim = Simulator()
+    if profiler is not None:
+        sim.set_profiler(profiler)
     rng = random.Random(derive_seed(seed, "microbench.port"))
     sink = _CountingSink()
     port = Port(sim, "bench", Gbps(1), 10 * _US, sink,
@@ -189,11 +213,15 @@ def _run_port_saturation(seed: int, n_packets: int) -> dict:
     }
 
 
-def _port_saturation(seed: int, scale: float, repeats: int) -> dict:
+def _port_saturation(seed: int, scale: float, repeats: int,
+                     profile: bool = False) -> dict:
+    profiler = _make_profiler(profile)
     measured = _best_of(
-        repeats, lambda: _run_port_saturation(seed, max(100, int(40_000 * scale))))
+        repeats,
+        lambda: _run_port_saturation(seed, max(100, int(40_000 * scale)),
+                                     profiler=profiler))
     probe = _run_port_saturation(seed + 1, 2_000)  # fixed size: scale-free
-    return {
+    row = {
         "scenario": "port_saturation",
         "events": measured["events"],
         "packets": measured["packets"],
@@ -202,6 +230,9 @@ def _port_saturation(seed: int, scale: float, repeats: int) -> dict:
         "throughput_packets_per_s": round(measured["packets"] / measured["wall_s"]),
         "checksum": _checksum(probe["checksum_payload"]),
     }
+    if profiler is not None:
+        row["profile"] = profiler.report(top=8)
+    return row
 
 
 # -- end-to-end leaf–spine ----------------------------------------------
@@ -216,13 +247,15 @@ def _outcome_fields(row: dict) -> dict:
             if not any(tag in k for tag in _NON_OUTCOME)}
 
 
-def _run_leaf_spine(seed: int, n_short: int, horizon: float) -> dict:
+def _run_leaf_spine(seed: int, n_short: int, horizon: float,
+                    profile: bool = False) -> dict:
     from repro.experiments.common import ScenarioConfig, run_scenario
     from repro.metrics.export import metrics_to_dict
 
     config = ScenarioConfig(
         scheme="tlb", seed=seed, n_short=n_short, n_long=2,
-        n_paths=8, hosts_per_leaf=8, horizon=horizon, telemetry=True)
+        n_paths=8, hosts_per_leaf=8, horizon=horizon, telemetry=True,
+        profile=profile)
     result = run_scenario(config)
     row = metrics_to_dict(result.metrics)
     wall = result.metrics.extras["wall_time_s"]
@@ -230,19 +263,27 @@ def _run_leaf_spine(seed: int, n_short: int, horizon: float) -> dict:
     packets = sum(p.stats.transmitted
                   for sw in result.net.switches.values()
                   for p in sw.ports.values())
-    return {
+    out = {
         "events": events,
         "packets": packets,
         "wall_s": wall,
+        # metrics_to_dict only exports scalar extras, so the nested
+        # "profile" dict never reaches the checksum payload.
         "checksum_payload": _outcome_fields(row),
     }
+    if result.profiler is not None:
+        out["profile"] = result.profiler.report(top=8)
+    return out
 
 
-def _leaf_spine(seed: int, scale: float, repeats: int) -> dict:
+def _leaf_spine(seed: int, scale: float, repeats: int,
+                profile: bool = False) -> dict:
     measured = _best_of(
-        repeats, lambda: _run_leaf_spine(seed, max(8, int(60 * scale)), 0.5))
+        repeats,
+        lambda: _run_leaf_spine(seed, max(8, int(60 * scale)), 0.5,
+                                profile=profile))
     probe = _run_leaf_spine(seed + 1, 16, 0.3)  # fixed size: scale-free
-    return {
+    row = {
         "scenario": "leaf_spine",
         "events": measured["events"],
         "packets": measured["packets"],
@@ -251,6 +292,9 @@ def _leaf_spine(seed: int, scale: float, repeats: int) -> dict:
         "throughput_packets_per_s": round(measured["packets"] / measured["wall_s"]),
         "checksum": _checksum(probe["checksum_payload"]),
     }
+    if "profile" in measured:
+        row["profile"] = measured["profile"]
+    return row
 
 
 # -- harness ------------------------------------------------------------
@@ -282,8 +326,17 @@ def run_microbench(
     seed: int = 1,
     scale: float = 1.0,
     repeats: int = 2,
+    profile: bool = False,
 ) -> list[dict]:
-    """Run the selected micro-benchmarks; one flat JSON-able row each."""
+    """Run the selected micro-benchmarks; one flat JSON-able row each.
+
+    With ``profile=True`` every *measured* run goes through
+    :class:`~repro.obs.profiler.EngineProfiler` and each row gains a
+    nested ``"profile"`` report.  Profiling perturbs wall-clock
+    throughput, so profiled rows are for attribution, not for baseline
+    comparisons; determinism probes are never profiled and their
+    checksums stay baseline-comparable.
+    """
     if scale <= 0:
         raise ConfigError(f"--micro-scale must be positive, got {scale!r}")
     unknown = [s for s in scenarios if s not in SCENARIOS]
@@ -291,7 +344,7 @@ def run_microbench(
         raise ConfigError(f"unknown micro-benchmark scenario(s): {unknown}")
     rows = []
     for name in scenarios:
-        row = SCENARIOS[name](seed, scale, repeats)
+        row = SCENARIOS[name](seed, scale, repeats, profile)
         row["seed"] = seed
         row["scale"] = scale
         rows.append(row)

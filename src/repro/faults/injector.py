@@ -124,6 +124,11 @@ class FaultInjector:
         self.counts[ev.kind] += 1
         if self.tracer.enabled:
             fields: dict = {"node": ev.target}
+            if ev.kind in LINK_KINDS:
+                # Both directed port names, so span forensics can match
+                # port-attributed drop records back to this fault.
+                a, b = ev.link  # type: ignore[misc]
+                fields["ports"] = [f"{a}->{b}", f"{b}->{a}"]
             if ev.kind == "link_down":
                 fields["mode"] = ev.mode
             elif ev.kind == "degrade":

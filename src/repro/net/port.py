@@ -149,6 +149,7 @@ class Port:
         "_admin_up",
         "_down_mode",
         "_tx_start",
+        "_tx_flow",
     )
 
     def __init__(
@@ -191,6 +192,7 @@ class Port:
         self._admin_up = True
         self._down_mode = "drop"
         self._tx_start: Optional[float] = None
+        self._tx_flow: Optional[int] = None
         self.set_loss(loss_rate, loss_rng)
 
     # -- cached-attribute invariants --------------------------------------
@@ -442,9 +444,13 @@ class Port:
         stats.bytes_enqueued += size
         self.queue_bytes += size
         if trace:
+            # ``head`` names the flow whose packet currently holds the
+            # transmitter: the flow this packet is queued *behind*.  The
+            # span forensics layer aggregates waits by head flow to say
+            # "spent 2.1 ms queued behind long flow 317".
             self._tracer.emit(
                 self.sim.now, "enqueue", port=self.name, flow=pkt.flow_id,
-                seq=pkt.seq, qlen=qlen, is_ack=pkt.is_ack,
+                seq=pkt.seq, qlen=qlen, is_ack=pkt.is_ack, head=self._tx_flow,
             )
         queue.append(pkt)
         if not self._busy and self._admin_up:
@@ -462,6 +468,7 @@ class Port:
         if tx is None:
             tx = cache[size] = (size * BITS_PER_BYTE) / self._rate
         self._tx_start = sim.now
+        self._tx_flow = pkt.flow_id
         if self._trace:
             self._tracer.emit(
                 sim.now, "dequeue", port=self.name, flow=pkt.flow_id,
@@ -475,6 +482,7 @@ class Port:
             # no further transmission starts until recover().  fail()
             # already credited the busy fraction up to the cut.
             self._busy = False
+            self._tx_flow = None
             self.stats.dropped += 1
             if self._trace:
                 self._tracer.emit(
@@ -498,6 +506,7 @@ class Port:
             self._start_transmission()
         else:
             self._busy = False
+            self._tx_flow = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "" if self._admin_up else f" DOWN({self._down_mode})"

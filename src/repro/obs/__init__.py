@@ -21,14 +21,21 @@ and makes whole runs self-describing:
   --record``, ``repro report``);
 * :func:`render_html_report` — self-contained HTML dashboards;
 * :func:`diff_paths` / :func:`format_diff` — direction-aware metric
-  regression detection (``repro diff``).
+  regression detection (``repro diff``);
+* :class:`SpanBuffer` / :func:`format_explain` — per-flow span
+  forensics with deterministic tail sampling (``repro run --spans``,
+  ``repro explain``);
+* :class:`EngineProfiler` — kernel self-profiling: per-handler event
+  counts and sampled wall time (``repro bench --profile``).
 """
 
 from repro.obs.diff import MetricDelta, diff_paths, diff_rows, format_diff, load_rows
 from repro.obs.manifest import MANIFEST_NAME, build_manifest, git_sha, write_manifest
+from repro.obs.profiler import EngineProfiler
 from repro.obs.progress import ProgressReporter
 from repro.obs.recorder import FlightRecorder, RecordedRun
 from repro.obs.report import render_html_report, write_html_report
+from repro.obs.spans import SpanBuffer, format_explain, load_spans
 from repro.obs.summarize import TraceSummary, format_trace_summary, summarize_trace
 from repro.obs.telemetry import RunTelemetry
 from repro.obs.tracers import CountingTracer, JsonlTracer, TeeTracer
@@ -37,6 +44,10 @@ __all__ = [
     "CountingTracer",
     "JsonlTracer",
     "TeeTracer",
+    "SpanBuffer",
+    "load_spans",
+    "format_explain",
+    "EngineProfiler",
     "RunTelemetry",
     "MANIFEST_NAME",
     "build_manifest",

@@ -30,7 +30,10 @@ __all__ = ["MetricDelta", "load_rows", "diff_rows", "diff_paths", "format_diff"]
 #: substrings marking metrics where bigger is better
 _HIGHER_BETTER = ("goodput", "throughput", "utilization", "n_completed")
 #: substrings marking informational columns that never gate
-_NEUTRAL = ("n_flows", "samples", "seed", "horizon", "n_packets", "peak_entries")
+#: ("_share"/"retained" cover span-file attribution columns: a shift in
+#: where tail latency comes from is a finding, not a regression)
+_NEUTRAL = ("n_flows", "samples", "seed", "horizon", "n_packets", "peak_entries",
+            "_share", "retained")
 
 
 def metric_direction(name: str) -> int:
@@ -78,11 +81,18 @@ def load_rows(path: str | Path) -> list[dict]:
     """Load a metrics export as a list of flat row dicts.
 
     Accepts ``.json`` (array of objects, or one object), ``.csv``
-    (header + rows), and ``.npz`` flight recordings (one summary row).
+    (header + rows), ``.npz`` flight recordings (one summary row), and
+    ``.spans.json[.gz]`` span files (one attribution summary row), so
+    ``repro diff old.spans.json new.spans.json`` compares where two
+    runs' tail latency comes from.
     """
     path = Path(path)
     if not path.exists():
         raise ConfigError(f"no such export: {path}")
+    name = path.name.lower()
+    if name.endswith(".spans.json") or name.endswith(".spans.json.gz"):
+        from repro.obs.spans import load_spans, summary_row
+        return [summary_row(load_spans(path))]
     suffix = path.suffix.lower()
     if suffix == ".npz":
         from repro.obs.recorder import RecordedRun

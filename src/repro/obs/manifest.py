@@ -97,6 +97,18 @@ def build_manifest(
         manifest["config"] = {k: _jsonable(v) for k, v in cfg.items()}
         manifest["seed"] = cfg.get("seed")
         manifest["scheme"] = cfg.get("scheme")
+        # Observability settings get their own section so artefacts are
+        # self-describing: a span file or trace next to this manifest
+        # can be matched to the switches that produced it.  These knobs
+        # are exactly the ones the result cache ignores
+        # (repro.cache.key.NON_SEMANTIC_FIELDS).
+        manifest["observability"] = {
+            "trace_kinds": [str(k) for k in (cfg.get("trace_kinds") or ())],
+            "telemetry": bool(cfg.get("telemetry", False)),
+            "timeseries": bool(cfg.get("timeseries", False)),
+            "spans": bool(cfg.get("spans", False)),
+            "profile": bool(cfg.get("profile", False)),
+        }
     if metrics is not None:
         manifest["horizon_s"] = metrics.horizon
         manifest["run"] = {

@@ -16,7 +16,9 @@ Panels, in reading order:
 * fabric throughput and per-port utilisation;
 * ECN-mark / drop / retransmit rates;
 * active short/long flow counts;
-* FCT and queueing-delay distributions with a percentile table.
+* FCT and queueing-delay distributions with a percentile table;
+* **tail forensics** (when a span file is supplied): aggregate FCT
+  attribution shares and a per-flow breakdown of the slowest flows.
 """
 
 from __future__ import annotations
@@ -118,8 +120,63 @@ def _hist_panel(run: RecordedRun) -> str:
     return "".join(parts)
 
 
-def render_html_report(run: RecordedRun, *, source: str = "") -> str:
-    """Render one recording as a self-contained HTML document."""
+def _spans_panel(spans: dict) -> str:
+    """The tail-forensics panel rendered from a loaded span document."""
+    from repro.obs.spans import COMPONENTS, tail_flows
+
+    totals = spans.get("totals") or {}
+    shares = totals.get("shares") or {}
+    dominant = totals.get("dominant") or {}
+    retained = totals.get("retained") or {}
+
+    bars = [(c, 100.0 * float(shares.get(c, 0.0))) for c in COMPONENTS]
+    share_chart = svg_bar_chart(
+        bars, height=160, title="FCT attribution (completed flows)",
+        y_label="% of total FCT")
+
+    rows = []
+    for fid, doc in tail_flows(spans, 5):
+        attr = doc.get("attribution") or {}
+        comps = attr.get("components") or {}
+        fct = doc.get("fct")
+        rows.append([
+            fid,
+            doc.get("class", "?"),
+            doc.get("size"),
+            None if fct is None else fct * 1e3,
+            attr.get("dominant", "?"),
+            comps.get("queueing", 0.0) * 1e3,
+            (comps.get("retransmit", 0.0) + comps.get("reorder", 0.0)
+             + comps.get("reroute", 0.0)) * 1e3,
+            doc.get("drops", 0),
+            doc.get("retransmits", 0),
+            doc.get("reroutes", 0),
+            "yes" if doc.get("fault_affected") else "",
+        ])
+    table = _table(
+        ["flow", "class", "bytes", "FCT (ms)", "dominant",
+         "queueing (ms)", "recovery (ms)", "drops", "rexmit", "reroutes",
+         "fault"],
+        rows)
+
+    dom = ", ".join(f"{k}: {v}" for k, v in sorted(dominant.items())) or "—"
+    ret = ", ".join(f"{k}: {v}" for k, v in sorted(retained.items())) or "—"
+    note = (f"<p class='note'>{totals.get('flows', 0)} flows tracked, "
+            f"{totals.get('completed', 0)} completed; dominant components: "
+            f"{dom}; fully retained spans: {ret}. Per-hop timelines are in "
+            "the span file (<code>repro explain</code>).</p>")
+    return (f'<section id="panel-spans"><h2>Tail forensics</h2>'
+            f"{share_chart}{table}{note}</section>")
+
+
+def render_html_report(run: RecordedRun, *, source: str = "",
+                       spans: dict | None = None) -> str:
+    """Render one recording as a self-contained HTML document.
+
+    ``spans`` is an optional loaded span document (see
+    :func:`repro.obs.spans.load_spans`); when given, a "Tail forensics"
+    section is appended (``repro report RUN.npz --spans RUN.spans.json``).
+    """
     meta = run.meta
     t = run.times
     t_lo = float(t[0]) if t.size else 0.0
@@ -155,6 +212,7 @@ def render_html_report(run: RecordedRun, *, source: str = "") -> str:
          ("long", t, run.data["active_long"].astype(float))],
         title="Active flows", y_label="flows") if t.size else ""
 
+    spans_panel = _spans_panel(spans) if spans else ""
     title = f"repro run report — {meta.get('scheme', '?')}"
     return f"""<!doctype html>
 <html lang="en"><head><meta charset="utf-8">
@@ -168,13 +226,15 @@ def render_html_report(run: RecordedRun, *, source: str = "") -> str:
 <section id="panel-perf"><h2>Throughput &amp; congestion</h2>
 {"".join(perf_parts)}{flows_chart}</section>
 {_hist_panel(run)}
+{spans_panel}
 </main></body></html>
 """
 
 
 def write_html_report(run: RecordedRun, path: str | Path, *,
-                      source: str = "") -> Path:
+                      source: str = "", spans: dict | None = None) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_html_report(run, source=source), encoding="utf-8")
+    path.write_text(render_html_report(run, source=source, spans=spans),
+                    encoding="utf-8")
     return path

@@ -8,7 +8,6 @@ time span.  Powers ``repro trace summarize``.
 
 from __future__ import annotations
 
-import gzip
 import json
 from collections import Counter
 from dataclasses import dataclass, field
@@ -16,7 +15,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.errors import ConfigError
-from repro.obs.tracers import trace_node
+from repro.obs.tracers import open_trace_text, trace_node
 
 __all__ = ["TraceSummary", "format_trace_summary", "summarize_trace"]
 
@@ -33,6 +32,10 @@ class TraceSummary:
     by_kind: dict[str, int] = field(default_factory=dict)
     #: (kind, node) -> count
     by_kind_node: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: records scanned but excluded by --flow / --kind filters
+    n_filtered_out: int = 0
+    #: human-readable description of active filters ("" when unfiltered)
+    filters: str = ""
 
     def nodes_for(self, kind: str) -> dict[str, int]:
         """One kind's per-node counts, largest first."""
@@ -40,19 +43,27 @@ class TraceSummary:
         return dict(sorted(items, key=lambda kv: (-kv[1], kv[0])))
 
 
-def _open_trace(path: Path):
-    """Open a trace file for reading, transparently decompressing ``.gz``."""
-    if path.suffix == ".gz":
-        return gzip.open(path, "rt", encoding="utf-8")
-    return path.open()
-
-
-def summarize_trace(path: str | Path) -> TraceSummary:
+def summarize_trace(
+    path: str | Path,
+    *,
+    flow: Optional[int] = None,
+    kind: Optional[str] = None,
+) -> TraceSummary:
     """Stream one JSONL trace file into a :class:`TraceSummary`.
 
     Accepts both plain ``.jsonl`` files and gzip-compressed
     ``.jsonl.gz`` files (as written by
-    :class:`~repro.obs.tracers.JsonlTracer`).
+    :class:`~repro.obs.tracers.JsonlTracer`) through one code path
+    (:func:`~repro.obs.tracers.open_trace_text`).
+
+    Parameters
+    ----------
+    flow:
+        Keep only records tagged with this flow id (``repro trace
+        summarize --flow``).  Records without a ``flow`` field (port
+        aggregates, fault events) are excluded.
+    kind:
+        Keep only records of this trace kind (``--kind``).
 
     Raises
     ------
@@ -65,9 +76,10 @@ def summarize_trace(path: str | Path) -> TraceSummary:
     by_kind: Counter[str] = Counter()
     by_kind_node: Counter[tuple[str, str]] = Counter()
     n = 0
+    filtered_out = 0
     t_min: Optional[float] = None
     t_max: Optional[float] = None
-    with _open_trace(path) as fh:
+    with open_trace_text(path) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
@@ -78,14 +90,23 @@ def summarize_trace(path: str | Path) -> TraceSummary:
                 raise ConfigError(f"{path}:{lineno}: not valid JSON: {exc}") from None
             if not isinstance(record, dict):
                 raise ConfigError(f"{path}:{lineno}: expected a JSON object")
+            record_kind = str(record.get("kind", "?"))
+            if (kind is not None and record_kind != kind) or (
+                    flow is not None and record.get("flow") != flow):
+                filtered_out += 1
+                continue
             n += 1
-            kind = str(record.get("kind", "?"))
-            by_kind[kind] += 1
-            by_kind_node[(kind, trace_node(record))] += 1
+            by_kind[record_kind] += 1
+            by_kind_node[(record_kind, trace_node(record))] += 1
             t = record.get("t")
             if isinstance(t, (int, float)):
                 t_min = t if t_min is None else min(t_min, t)
                 t_max = t if t_max is None else max(t_max, t)
+    active = []
+    if flow is not None:
+        active.append(f"flow={flow}")
+    if kind is not None:
+        active.append(f"kind={kind}")
     return TraceSummary(
         path=str(path),
         n_records=n,
@@ -93,6 +114,8 @@ def summarize_trace(path: str | Path) -> TraceSummary:
         t_max=t_max,
         by_kind=dict(sorted(by_kind.items())),
         by_kind_node=dict(by_kind_node),
+        n_filtered_out=filtered_out,
+        filters=" ".join(active),
     )
 
 
@@ -127,8 +150,12 @@ def format_trace_summary(
     span = ""
     if summary.t_min is not None and summary.t_max is not None:
         span = f"  t=[{summary.t_min:.6f}, {summary.t_max:.6f}]s"
+    selected = ""
+    if summary.filters:
+        selected = (f" ({summary.filters}; "
+                    f"{summary.n_filtered_out} records filtered out)")
     out = [f"{summary.path}: {summary.n_records} records, "
-           f"{len(summary.by_kind)} kinds{span}", ""]
+           f"{len(summary.by_kind)} kinds{span}{selected}", ""]
     out.append(_table(
         ["kind", "count"],
         [[k, c] for k, c in summary.by_kind.items()],

@@ -18,7 +18,20 @@ from typing import IO, Any, Iterable, Optional
 from repro.errors import ConfigError
 from repro.sim.trace import Tracer
 
-__all__ = ["JsonlTracer", "CountingTracer", "TeeTracer", "trace_node"]
+__all__ = ["JsonlTracer", "CountingTracer", "TeeTracer", "open_trace_text", "trace_node"]
+
+
+def open_trace_text(path: str | Path) -> IO[str]:
+    """Open a trace file for reading, transparently decompressing ``.gz``.
+
+    The read-side counterpart of :class:`JsonlTracer`'s write path: one
+    code path serves both plain ``.jsonl`` and ``.jsonl.gz`` artefacts
+    (also used for span files by :func:`repro.obs.spans.load_spans`).
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open()
 
 
 def trace_node(fields: dict) -> str:

@@ -116,7 +116,7 @@ class Simulator:
     """
 
     __slots__ = ("_heap", "_counter", "_now", "_running", "_processed",
-                 "_stopped", "_n_cancelled")
+                 "_stopped", "_n_cancelled", "_profiler", "_cleanup_hooks")
 
     def __init__(self, start: float = 0.0):
         #: entries are ``(time, seq, Event)`` or ``(time, seq, fn, args)``
@@ -127,6 +127,8 @@ class Simulator:
         self._stopped = False
         self._processed = 0
         self._n_cancelled = 0
+        self._profiler = None
+        self._cleanup_hooks: list[Callable[[], None]] = []
 
     # -- clock ---------------------------------------------------------
 
@@ -229,6 +231,37 @@ class Simulator:
         heapify(heap)
         self._n_cancelled = 0
 
+    # -- observation hooks -----------------------------------------------
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or with ``None``, remove) an event-loop profiler.
+
+        The check happens once per :meth:`run` call, so a simulator with
+        no profiler pays nothing per event; with one installed,
+        execution goes through :meth:`_run_profiled`, which attributes
+        event counts and sampled wall time to handler components (see
+        :class:`repro.obs.profiler.EngineProfiler`).
+        """
+        self._profiler = profiler
+
+    def add_cleanup_hook(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to run if :meth:`run` exits via an exception.
+
+        The hooks exist so durable trace sinks can flush their buffered
+        tail when a run dies mid-flight (a truncated trace is precisely
+        the one forensics needs intact).  They fire only on the
+        exception path — the normal path stays hook-free and the
+        original exception always propagates.
+        """
+        self._cleanup_hooks.append(fn)
+
+    def _fire_cleanup(self) -> None:
+        for fn in self._cleanup_hooks:
+            try:
+                fn()
+            except Exception:  # pragma: no cover - best-effort on the way down
+                pass
+
     # -- execution -------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -246,6 +279,9 @@ class Simulator:
             cumulative over the simulator's lifetime.  Skipped cancelled
             events do not consume budget.
         """
+        if self._profiler is not None:
+            self._run_profiled(until, max_events)
+            return
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
@@ -284,7 +320,85 @@ class Simulator:
                 executed += 1
                 if self._stopped:
                     break
+        except BaseException:
+            self._fire_cleanup()
+            raise
         finally:
+            self._processed += executed
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def _run_profiled(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """:meth:`run` with per-handler attribution.
+
+        Semantics are identical to the unprofiled loop — same budget
+        accounting, ``until`` clock advance, stop handling, and
+        cancelled-event skips — so profiling a seeded run cannot change
+        its event sequence.  Every executed event increments its
+        handler's count; wall time is measured for one event in
+        ``profiler.sample_every`` to keep the ``perf_counter`` overhead
+        off most events.
+        """
+        from time import perf_counter
+
+        prof = self._profiler
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        pop = heappop
+        bound = float("inf") if until is None else until
+        budget = maxsize if max_events is None else max_events
+        executed = 0
+        counts = prof.counts
+        sampled_time = prof.sampled_time
+        sampled_events = prof.sampled_events
+        sample_every = prof.sample_every
+        timer = perf_counter
+        run_t0 = timer()
+        try:
+            while heap:
+                entry = pop(heap)
+                if len(entry) == 3:
+                    ev = entry[2]
+                    if ev.cancelled:
+                        self._n_cancelled -= 1
+                        continue
+                    fn = ev.fn
+                    args = ev.args
+                else:
+                    fn = entry[2]
+                    args = entry[3]
+                when = entry[0]
+                if when > bound:
+                    heappush(heap, entry)
+                    break
+                if executed >= budget:
+                    heappush(heap, entry)
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (possible event storm)"
+                    )
+                self._now = when
+                name = getattr(fn, "__qualname__", None) or repr(fn)
+                counts[name] += 1
+                if executed % sample_every == 0:
+                    t0 = timer()
+                    fn(*args)
+                    sampled_time[name] += timer() - t0
+                    sampled_events[name] += 1
+                else:
+                    fn(*args)
+                executed += 1
+                if self._stopped:
+                    break
+        except BaseException:
+            self._fire_cleanup()
+            raise
+        finally:
+            prof.wall_s += timer() - run_t0
+            prof.runs += 1
             self._processed += executed
             self._running = False
         if until is not None and not self._stopped and self._now < until:

@@ -86,6 +86,9 @@ class FlowStats:
     packets_sent: int = 0
     retransmits: int = 0
     timeouts: int = 0
+    #: entries into NewReno fast recovery (3-dup-ACK episodes) — the
+    #: signal that distinguishes reordering-misread-as-loss from RTOs
+    fast_recoveries: int = 0
     packets_received: int = 0
     out_of_order: int = 0
     dup_acks_sent: int = 0

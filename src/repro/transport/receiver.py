@@ -72,6 +72,15 @@ class TcpReceiver:
         elif seq > self.rcv_nxt:
             self.stats.out_of_order += 1
             self._ooo_buffer.add(seq)
+            # Reorder causality for span forensics: when this arrival
+            # gap was opened by a path change, the span timeline shows
+            # the reroute/flowlet switch immediately preceding it.
+            nic = getattr(self.host, "nic", None)
+            if nic is not None and nic.tracer.enabled:
+                nic.tracer.emit(
+                    self.sim.now, "ooo", node=self.host.name,
+                    flow=self.flow.id, seq=seq, expected=self.rcv_nxt,
+                )
         # else: spurious retransmission of already-delivered data.
         self._send_data_ack(echo=pkt.ecn_marked)
 

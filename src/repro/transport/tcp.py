@@ -254,6 +254,7 @@ class TcpSender:
         self.cwnd = self.ssthresh + self.config.dupack_threshold
         self.recover = self.snd_nxt
         self.state = _FAST_RECOVERY
+        self.stats.fast_recoveries += 1
         self._retransmit(self.snd_una)
         self._arm_rto()
 
@@ -345,6 +346,16 @@ class TcpSender:
         self._on_rto()
 
     def _on_rto(self) -> None:
+        # The duration just spent waiting (before backoff doubles it):
+        # the span layer sums these into per-flow retransmit-wait time.
+        waited = self.rto.rto
+        nic = getattr(self.host, "nic", None)
+        if nic is not None and nic.tracer.enabled:
+            nic.tracer.emit(
+                self.sim.now, "rto", node=self.host.name,
+                flow=self.flow.id, waited=waited,
+                established=self.established,
+            )
         self.rto.on_timeout()
         if not self.established:
             self._send_syn()  # SYN lost: retry

@@ -59,6 +59,8 @@ def test_semantic_field_change_misses(change):
     {"telemetry": True},
     {"timeseries": True},
     {"bin_width": 0.5},
+    {"spans": True},
+    {"profile": True},
 ])
 def test_non_semantic_knobs_still_hit(change):
     assert config_digest(BASE.with_(**change)) == config_digest(BASE)

@@ -318,3 +318,128 @@ def test_run_cache_bench_tiny(tmp_path):
     assert row["byte_identical"] is True
     text = format_cache_bench(row)
     assert "results identical: True" in text
+
+
+# -- flow forensics (spans / explain / profile) -----------------------------
+
+
+def _run_spans(tmp_path, name="run.spans.json"):
+    path = tmp_path / name
+    assert main(["run", "--scheme", "tlb", "--short-flows", "8",
+                 "--long-flows", "1", "--paths", "4", "--seed", "5",
+                 "--faults", "0.0005:link_down:leaf0-spine0;"
+                 "0.05:link_up:leaf0-spine0",
+                 "--spans", str(path)]) == 0
+    return path
+
+
+def test_run_spans_then_explain_text_and_json(capsys, tmp_path):
+    import json
+
+    path = _run_spans(tmp_path)
+    out = capsys.readouterr().out
+    assert "full hop detail" in out and path.exists()
+
+    assert main(["explain", str(path), "--tail", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "top 3 tail flows" in out
+    assert "dominant=" in out
+    assert "FCT shares:" in out
+
+    assert main(["explain", str(path), "--tail", "2",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format"] == "repro-spans-v1"
+    assert len(payload["flows"]) == 2
+
+
+def test_explain_single_flow(capsys, tmp_path):
+    path = _run_spans(tmp_path)
+    capsys.readouterr()
+    assert main(["explain", str(path), "--tail", "1"]) == 0
+    out = capsys.readouterr().out
+    fid = out.split("flow ")[2].split(" ")[0]
+    assert main(["explain", str(path), "--flow", fid]) == 0
+    assert f"flow {fid} " in capsys.readouterr().out
+
+
+def test_run_spans_gzip_and_manifest(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "run.spans.json.gz"
+    json_path = tmp_path / "m.json"
+    assert main(["run", "--scheme", "tlb", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--spans", str(path), "--json", str(json_path)]) == 0
+    assert path.read_bytes()[:2] == b"\x1f\x8b"
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["observability"]["spans"] is True
+    assert manifest["observability"]["profile"] is False
+    assert main(["explain", str(path)]) == 0
+
+
+def test_run_cache_ignored_with_spans(capsys, tmp_path):
+    path = tmp_path / "c.spans.json"
+    assert main(["run", "--scheme", "ecmp", "--short-flows", "4",
+                 "--long-flows", "1", "--paths", "4",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--spans", str(path)]) == 0
+    err = capsys.readouterr().err
+    assert "--cache ignored" in err
+    assert path.exists()
+
+
+def test_report_with_spans_section(capsys, tmp_path):
+    rec = tmp_path / "run.npz"
+    html = tmp_path / "out.html"
+    spans = tmp_path / "run.spans.json"
+    assert main(["run", "--scheme", "tlb", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--record", str(rec), "--spans", str(spans)]) == 0
+    assert main(["report", str(rec), "--html", str(html),
+                 "--spans", str(spans)]) == 0
+    text = html.read_text(encoding="utf-8")
+    assert 'id="panel-spans"' in text and "Tail forensics" in text
+    # without --spans the section is absent
+    html2 = tmp_path / "plain.html"
+    assert main(["report", str(rec), "--html", str(html2)]) == 0
+    assert "Tail forensics" not in html2.read_text(encoding="utf-8")
+
+
+def test_diff_accepts_span_files(capsys, tmp_path):
+    a = _run_spans(tmp_path, "a.spans.json")
+    b = _run_spans(tmp_path, "b.spans.json")
+    capsys.readouterr()
+    assert main(["diff", str(a), str(b), "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "queueing_share" in out
+    assert "0 regression(s)" in out  # identical seeded runs: no deltas
+
+
+def test_trace_summarize_flow_and_kind_flags(capsys, tmp_path):
+    trace = tmp_path / "t.jsonl"
+    assert main(["run", "--scheme", "tlb", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "summarize", str(trace), "--kind", "enqueue"]) == 0
+    out = capsys.readouterr().out
+    assert "kind=enqueue" in out and "filtered out" in out
+    assert main(["trace", "summarize", str(trace), "--flow", "0"]) == 0
+    assert "flow=0" in capsys.readouterr().out
+
+
+def test_explain_flags_parse():
+    args = build_parser().parse_args(
+        ["explain", "x.spans.json", "--flow", "7", "--format", "json"])
+    assert args.flow == 7 and args.format == "json"
+    args = build_parser().parse_args(["explain", "x.spans.json"])
+    assert args.tail == 5 and args.hops == 12 and args.format == "text"
+
+
+def test_bench_profile_and_spans_smoke_flags_parse():
+    args = build_parser().parse_args(["bench", "--micro", "--profile"])
+    assert args.profile and args.micro
+    args = build_parser().parse_args(
+        ["bench", "--spans-smoke", "--max-overhead-pct", "25"])
+    assert args.spans_smoke and args.max_overhead_pct == 25.0

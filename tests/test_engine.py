@@ -292,3 +292,63 @@ def test_same_seed_runs_are_identical(sim):
     a = drive(sim)
     b = drive(Simulator())
     assert a == b
+
+
+# -- cleanup hooks --------------------------------------------------------
+
+
+def test_cleanup_hooks_fire_on_crash_not_on_normal_exit(sim):
+    fired = []
+    sim.add_cleanup_hook(lambda: fired.append("hook"))
+    sim.call_later(0.1, lambda: None)
+    sim.run()
+    assert fired == []  # normal completion: no cleanup needed
+
+    def boom():
+        raise RuntimeError("handler crashed")
+
+    sim.call_later(0.2, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert fired == ["hook"]
+
+
+def test_cleanup_hooks_fire_on_max_events_abort(sim):
+    fired = []
+    sim.add_cleanup_hook(lambda: fired.append("hook"))
+    for i in range(5):
+        sim.call_later(0.001 * (i + 1), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=2)
+    assert fired == ["hook"]
+
+
+def test_crashing_cleanup_hook_does_not_mask_the_error(sim):
+    order = []
+
+    def bad_hook():
+        order.append("bad")
+        raise ValueError("hook bug")
+
+    sim.add_cleanup_hook(bad_hook)
+    sim.add_cleanup_hook(lambda: order.append("good"))
+    sim.call_later(0.1, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+    assert order == ["bad", "good"]  # every hook ran; original error kept
+
+
+def test_cleanup_hooks_fire_under_profiler(sim):
+    from repro.obs.profiler import EngineProfiler
+
+    EngineProfiler(sample_every=1).install(sim)
+    fired = []
+    sim.add_cleanup_hook(lambda: fired.append("hook"))
+
+    def boom():
+        raise RuntimeError("profiled crash")
+
+    sim.call_later(0.1, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert fired == ["hook"]

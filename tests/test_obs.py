@@ -402,3 +402,98 @@ def test_gzip_trace_end_to_end_run(tmp_path):
         tracer.close()
     summary = summarize_trace(path)
     assert summary.n_records == tracer.records_written
+
+
+# -- summarize filters -------------------------------------------------------
+
+
+def test_summarize_flow_and_kind_filters(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with JsonlTracer(path) as t:
+        t.emit(0.1, "enqueue", port="a", flow=1)
+        t.emit(0.2, "enqueue", port="a", flow=2)
+        t.emit(0.3, "drop", port="a", flow=1)
+        t.emit(0.4, "reroute", node="leaf0")  # no flow field
+
+    by_flow = summarize_trace(path, flow=1)
+    assert by_flow.n_records == 2
+    assert by_flow.by_kind == {"drop": 1, "enqueue": 1}
+    assert by_flow.n_filtered_out == 2
+    assert by_flow.filters == "flow=1"
+    assert by_flow.t_min == pytest.approx(0.1)
+    assert by_flow.t_max == pytest.approx(0.3)
+
+    by_kind = summarize_trace(path, kind="enqueue")
+    assert by_kind.n_records == 2
+    assert by_kind.by_kind == {"enqueue": 2}
+
+    both = summarize_trace(path, flow=2, kind="enqueue")
+    assert both.n_records == 1
+    assert both.filters == "flow=2 kind=enqueue"
+
+    text = format_trace_summary(by_flow)
+    assert "flow=1" in text and "2 records filtered out" in text
+
+
+def test_summarize_filters_work_on_gzip(tmp_path):
+    path = tmp_path / "t.jsonl.gz"
+    with JsonlTracer(path) as t:
+        t.emit(0.1, "enqueue", port="a", flow=1)
+        t.emit(0.2, "drop", port="a", flow=2)
+    assert summarize_trace(path, kind="drop").n_records == 1
+
+
+# -- cleanup-hook flush on abnormal engine exit ------------------------------
+
+
+def test_jsonl_tracer_flushes_on_engine_crash(tmp_path):
+    """Regression: a crashed run must not lose its buffered trace tail."""
+    path = tmp_path / "crash.jsonl"
+    tracer = JsonlTracer(path, flush_every=10_000)  # never flushes by count
+    sim = Simulator()
+    sim.add_cleanup_hook(tracer.flush)
+
+    def emit_one(i):
+        tracer.emit(sim.now, "enqueue", port="p", flow=i)
+
+    for i in range(5):
+        sim.call_later(0.001 * (i + 1), emit_one, i)
+
+    def boom():
+        raise RuntimeError("mid-run crash")
+
+    sim.call_later(0.01, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 5  # everything emitted before the crash is on disk
+    tracer.close()
+
+
+def test_run_scenario_wires_tracer_flush_hook(tmp_path):
+    from repro.experiments.common import ScenarioConfig, run_scenario
+    from repro.sim.trace import Tracer
+
+    class Bomb(Tracer):
+        enabled = True
+
+        def __init__(self, fuse):
+            self.fuse = fuse
+
+        def emit(self, time, kind, **fields):
+            self.fuse -= 1
+            if self.fuse <= 0:
+                raise RuntimeError("sink crashed mid-run")
+
+    path = tmp_path / "run.jsonl"
+    jsonl = JsonlTracer(path, flush_every=10_000)  # never flushes by count
+    tracer = TeeTracer(jsonl, Bomb(fuse=50))
+    try:
+        with pytest.raises(RuntimeError, match="sink crashed"):
+            run_scenario(ScenarioConfig(
+                scheme="tlb", n_paths=4, hosts_per_leaf=5, n_short=4,
+                n_long=1, short_window=0.005, horizon=0.5), tracer=tracer)
+    finally:
+        jsonl.close()
+    # run_scenario's cleanup hook flushed the buffered tail to disk
+    assert len(path.read_text().splitlines()) == 50
