@@ -20,8 +20,15 @@ interleave per line, duplicates are deduped key-last-wins on load, and
 a missing or stale index never affects correctness.
 
 A corrupted or truncated object (disk full, version skew) is treated as
-a **miss**: the entry is quarantined (unlinked best-effort) and the
-scenario is simply recomputed.
+a **miss**: the entry is moved into ``quarantine/`` (unlink as the
+fallback) and the scenario is simply recomputed.  ``stats`` surfaces
+the quarantine so corruption is visible instead of silently eaten, and
+``gc`` purges it.
+
+Fleets (:mod:`repro.fleet`) conventionally keep their directories under
+``<root>/fleets/<name>``; ``gc`` is lease-aware — the planned cells of
+any fleet with a fresh worker/lease heartbeat are never evicted out
+from under the run that is about to collect them.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ import pickle
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional
 
 from repro.cache.key import cache_key, code_fingerprint
 from repro.errors import ConfigError
@@ -41,6 +48,12 @@ __all__ = ["CacheStats", "ResultCache", "default_cache_dir", "parse_size"]
 
 _OBJECTS = "objects"
 _INDEX = "index.jsonl"
+_QUARANTINE = "quarantine"
+_FLEETS = "fleets"
+
+#: a fleet whose newest lease/worker heartbeat file is younger than this
+#: is considered active, and its cells are protected from gc eviction
+_FLEET_ACTIVE_WINDOW = 600.0
 
 _SIZE_SUFFIXES = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3, "T": 1024 ** 4}
 
@@ -83,6 +96,12 @@ class CacheStats:
     fingerprint: str
     #: entry count per scheme, from the index (best-effort)
     by_scheme: dict[str, int] = field(default_factory=dict)
+    #: corrupt entries sitting in ``quarantine/`` (cleaned by ``gc``)
+    quarantined: int = 0
+    quarantined_bytes: int = 0
+    #: raw ``index.jsonl`` line count — greater than ``entries`` means
+    #: the append-only index has grown stale duplicates (``gc`` compacts)
+    index_lines: int = 0
 
     def summary(self) -> str:
         lines = [
@@ -95,6 +114,17 @@ class CacheStats:
         if self.by_scheme:
             per = ", ".join(f"{s}={n}" for s, n in sorted(self.by_scheme.items()))
             lines.append(f"by scheme : {per}")
+        if self.quarantined:
+            lines.append(
+                f"quarantine: {self.quarantined} corrupt entr"
+                f"{'y' if self.quarantined == 1 else 'ies'}"
+                f" ({self.quarantined_bytes / 1e6:.2f} MB) — run"
+                " `repro cache gc` to purge")
+        if self.index_lines > self.entries:
+            lines.append(
+                f"index     : {self.index_lines} line(s) for"
+                f" {self.entries} entries — run `repro cache gc`"
+                " to compact")
         return "\n".join(lines)
 
 
@@ -142,7 +172,33 @@ class ResultCache:
     def _object_path(self, key: str) -> Path:
         return self.root / _OBJECTS / f"{key}.pkl"
 
+    def _quarantine_path(self, key: str) -> Path:
+        return self.root / _QUARANTINE / f"{key}.pkl"
+
     # -- lookup / store ----------------------------------------------------
+
+    def contains(self, config: Any) -> bool:
+        """Whether a stored entry exists, without loading or counting it.
+
+        A single path probe — what the fleet planner uses to mark cells
+        as already computed without paying the unpickle.
+        """
+        try:
+            return self._object_path(self.key_for(config)).exists()
+        except TypeError:
+            return False
+
+    def _quarantine(self, path: Path, key: str) -> None:
+        """Move a corrupt entry aside for ``stats``/``gc`` accounting."""
+        target = self._quarantine_path(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def get(self, config: Any) -> Optional[Any]:
         """The stored result for ``config``, or None on any miss.
@@ -151,10 +207,11 @@ class ResultCache:
         entry is quarantined and reported as a miss, never an error.
         """
         try:
-            path = self._object_path(self.key_for(config))
+            key = self.key_for(config)
         except TypeError:
             self.misses += 1
             return None
+        path = self._object_path(key)
         try:
             blob = path.read_bytes()
             result = pickle.loads(blob)
@@ -162,11 +219,9 @@ class ResultCache:
             self.misses += 1
             return None
         except Exception:
-            # Truncated/corrupted/unreadable entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Truncated/corrupted/unreadable entry: set it aside (so
+            # `repro cache stats` can report the corruption) and recompute.
+            self._quarantine(path, key)
             self.misses += 1
             return None
         self.hits += 1
@@ -238,8 +293,21 @@ class ResultCache:
         except OSError:
             return
 
+    def _iter_quarantine(self) -> Iterator[Path]:
+        try:
+            yield from (self.root / _QUARANTINE).glob("*.pkl")
+        except OSError:
+            return
+
+    def _count_index_lines(self) -> int:
+        try:
+            with (self.root / _INDEX).open() as fh:
+                return sum(1 for line in fh if line.strip())
+        except OSError:
+            return 0
+
     def stats(self) -> CacheStats:
-        """Scan the store (entries, bytes, per-scheme breakdown)."""
+        """Scan the store (entries, bytes, quarantine, index health)."""
         entries = 0
         total = 0
         live_keys = set()
@@ -250,6 +318,14 @@ class ResultCache:
                 continue
             entries += 1
             live_keys.add(path.stem)
+        quarantined = 0
+        quarantined_bytes = 0
+        for path in self._iter_quarantine():
+            try:
+                quarantined_bytes += path.stat().st_size
+            except OSError:
+                continue
+            quarantined += 1
         by_scheme: dict[str, int] = {}
         for key, meta in self._read_index().items():
             if key in live_keys and "scheme" in meta:
@@ -259,15 +335,22 @@ class ResultCache:
             root=str(self.root), entries=entries, total_bytes=total,
             hits=self.hits, misses=self.misses,
             fingerprint=self.fingerprint, by_scheme=by_scheme,
+            quarantined=quarantined, quarantined_bytes=quarantined_bytes,
+            index_lines=self._count_index_lines(),
         )
 
     def clear(self) -> int:
-        """Delete every entry (and the index); returns entries removed."""
+        """Delete every entry (index and quarantine too); returns count."""
         removed = 0
         for path in list(self._iter_objects()):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in list(self._iter_quarantine()):
+            try:
+                path.unlink()
             except OSError:
                 pass
         try:
@@ -276,15 +359,81 @@ class ResultCache:
             pass
         return removed
 
-    def gc(self, max_bytes: int) -> tuple[int, int]:
+    def _active_fleet_keys(self) -> set[str]:
+        """Cell keys of every fleet under ``<root>/fleets`` that still
+        shows a recent lease/worker heartbeat — results a running (or
+        recently live) sweep is about to collect must not be evicted.
+        """
+        protected: set[str] = set()
+        fleets = self.root / _FLEETS
+        try:
+            fleet_dirs = [p for p in fleets.iterdir() if p.is_dir()]
+        except OSError:
+            return protected
+        now = time.time()
+        for fleet_dir in fleet_dirs:
+            active = False
+            for sub in ("leases", "workers"):
+                try:
+                    for path in (fleet_dir / sub).glob("*.json"):
+                        if now - path.stat().st_mtime <= _FLEET_ACTIVE_WINDOW:
+                            active = True
+                            break
+                except OSError:
+                    continue
+                if active:
+                    break
+            if not active:
+                continue
+            try:
+                with (fleet_dir / "fleet.jsonl").open() as fh:
+                    for raw in fh:
+                        try:
+                            record = json.loads(raw)
+                        except ValueError:
+                            continue
+                        if isinstance(record, dict) and \
+                                record.get("kind") == "cell":
+                            key = record.get("cell")
+                            if isinstance(key, str):
+                                protected.add(key)
+            except OSError:
+                continue
+        return protected
+
+    def purge_quarantine(self) -> tuple[int, int]:
+        """Delete everything in ``quarantine/``; ``(removed, bytes)``."""
+        removed = 0
+        freed = 0
+        for path in list(self._iter_quarantine()):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return removed, freed
+
+    def gc(self, max_bytes: int, *, protect: Iterable[str] = ()
+           ) -> tuple[int, int]:
         """Evict least-recently-used entries until ≤ ``max_bytes``.
 
-        Recency is file mtime (refreshed on every hit).  Returns
-        ``(entries_removed, bytes_freed)`` and compacts the index to the
-        surviving entries.
+        Recency is file mtime (refreshed on every hit).  Also purges the
+        quarantine (corrupt entries are dead weight) and compacts a
+        stale-grown ``index.jsonl`` even when nothing is evicted.
+
+        Keys in ``protect`` — plus the planned cells of any *active*
+        fleet under ``<root>/fleets`` (fresh lease/worker heartbeats) —
+        are exempt from eviction, so a concurrent ``repro cache gc``
+        cannot pull freshly computed results out from under a running
+        sweep.  Returns ``(entries_removed, bytes_freed)`` counting the
+        quarantine purge.
         """
         if max_bytes < 0:
             raise ConfigError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        removed, freed = self.purge_quarantine()
+        protected = set(protect) | self._active_fleet_keys()
         stamped = []
         total = 0
         for path in self._iter_objects():
@@ -295,11 +444,11 @@ class ResultCache:
             stamped.append((st.st_mtime, st.st_size, path))
             total += st.st_size
         stamped.sort()  # oldest first
-        removed = 0
-        freed = 0
         for _, size, path in stamped:
             if total <= max_bytes:
                 break
+            if path.stem in protected:
+                continue
             try:
                 path.unlink()
             except OSError:
@@ -307,7 +456,8 @@ class ResultCache:
             total -= size
             freed += size
             removed += 1
-        if removed:
+        live = {p.stem for p in self._iter_objects()}
+        if self._count_index_lines() != len(live):
             self._compact_index()
         return removed, freed
 

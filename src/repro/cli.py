@@ -38,6 +38,13 @@ Commands
     collection overhead and verifies spans never change the simulation.
 ``cache``
     Result-cache maintenance: ``stats``, ``clear``, ``gc --max-size``.
+``fleet run`` / ``resume`` / ``status`` / ``workers``
+    Crash-resilient distributed sweeps: cells are journaled into a fleet
+    directory, claimed by lease-holding worker processes, and written to
+    the shared result cache — a SIGKILLed worker's lease is reclaimed by
+    the watchdog and rerunning (or ``fleet resume``) recomputes nothing
+    already finished.  ``status``/``workers`` inspect a live or crashed
+    fleet without touching it.
 
 ``run``, ``sweep``, and ``figure`` all accept ``--cache`` /
 ``--no-cache`` / ``--cache-dir DIR``: with caching on, any scenario
@@ -171,16 +178,77 @@ def build_parser() -> argparse.ArgumentParser:
                     help="scenarios per worker round-trip (default: auto)")
     _add_cache_args(sw)
 
+    fleet = sub.add_parser(
+        "fleet", help="crash-resilient distributed sweep (resumable)")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    frun = fleet_sub.add_parser(
+        "run", help="run (or resume) a sweep through the fleet fabric")
+    frun.add_argument("--dir", required=True, metavar="DIR",
+                      help="fleet directory holding the journal, leases,"
+                      " and worker heartbeats; rerunning with the same"
+                      " directory resumes with zero recomputation")
+    frun.add_argument("--schemes", nargs="+", default=["ecmp", "rps", "tlb"])
+    frun.add_argument("--loads", nargs="+", type=float,
+                      default=[0.2, 0.5, 0.8])
+    frun.add_argument("--sizes", choices=("web_search", "data_mining"),
+                      default="web_search")
+    frun.add_argument("--flows", type=int, default=100)
+    frun.add_argument("--seed", type=int, default=1)
+    frun.add_argument("--faults", metavar="SPEC", default="",
+                      help="inject this fault schedule into every run")
+    frun.add_argument("--csv", help="write one row per (scheme, load)")
+    frun.add_argument("--workers", type=int, default=None,
+                      help="worker subprocesses (0 = one inline worker,"
+                      " no subprocess; default: auto)")
+    frun.add_argument("--retries", type=int, default=1,
+                      help="error-retry budget per cell (default 1);"
+                      " worker crashes are budgeted separately")
+    frun.add_argument("--lease-ttl", type=float, default=30.0, metavar="SEC",
+                      help="heartbeat TTL before a dead worker's lease is"
+                      " reclaimed (default 30)")
+    frun.add_argument("--progress", action="store_true",
+                      help="print a fleet heartbeat to stderr")
+    frun.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="shared result cache (default $REPRO_CACHE_DIR"
+                      " or ~/.cache/repro); the fleet always caches")
+
+    fresume = fleet_sub.add_parser(
+        "resume", help="resume a fleet purely from its journal (no grid"
+        " flags needed)")
+    fresume.add_argument("--dir", required=True, metavar="DIR")
+    fresume.add_argument("--csv", help="write one row per (scheme, load)")
+    fresume.add_argument("--workers", type=int, default=None)
+    fresume.add_argument("--progress", action="store_true")
+    fresume.add_argument("--cache-dir", metavar="DIR", default=None)
+
+    fstatus = fleet_sub.add_parser(
+        "status", help="cell counts, worker liveness, stale leases")
+    fstatus.add_argument("--dir", required=True, metavar="DIR")
+
+    fworkers = fleet_sub.add_parser(
+        "workers", help="per-worker liveness and progress")
+    fworkers.add_argument("--dir", required=True, metavar="DIR")
+
+    # internal: the subprocess entry point `run_fleet` spawns
+    fworker = fleet_sub.add_parser("worker")
+    fworker.add_argument("--dir", required=True, metavar="DIR")
+    fworker.add_argument("--cache-dir", metavar="DIR", default=None)
+    fworker.add_argument("--worker-id", metavar="NAME", default=None)
+    fworker.add_argument("--poll", type=float, default=0.2)
+
     cache = sub.add_parser("cache", help="result-cache maintenance")
     cache.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="cache directory (default $REPRO_CACHE_DIR"
                        " or ~/.cache/repro)")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_sub.add_parser("stats", help="entry count, size, session"
-                         " counters, per-scheme breakdown")
+                         " counters, per-scheme breakdown, quarantined"
+                         " corrupt entries, index staleness")
     cache_sub.add_parser("clear", help="delete every cached result")
     cache_gc = cache_sub.add_parser(
-        "gc", help="evict least-recently-used entries down to a size cap")
+        "gc", help="evict least-recently-used entries down to a size cap,"
+        " purge quarantined corrupt entries, and compact a stale index")
     cache_gc.add_argument("--max-size", required=True, metavar="SIZE",
                           help="target total size, e.g. 500M, 2G, or bytes")
 
@@ -444,6 +512,127 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failed and not ok else 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "worker":
+        from repro.fleet.worker import main as fleet_worker_main
+
+        return fleet_worker_main(args.dir, worker_name=args.worker_id,
+                                 cache_dir=args.cache_dir, poll=args.poll)
+    if args.fleet_command in ("status", "workers"):
+        from repro.fleet import fleet_status
+        from repro.obs.progress import (
+            format_fleet_heartbeat, format_fleet_workers)
+
+        status = fleet_status(args.dir)
+        if not status["header"]:
+            print(f"no fleet journal in {args.dir}", file=sys.stderr)
+            return 1
+        if args.fleet_command == "workers":
+            lines = format_fleet_workers(status)
+            if not lines:
+                print("no workers have registered yet")
+            for line in lines:
+                print(line)
+            return 0
+        print(format_fleet_heartbeat(status, label="fleet"))
+        cells = status["cells"]
+        print(f"cells: total={cells['total']} done={cells['done']}"
+              f" failed={cells['failed']} pending={cells['pending']}"
+              f" running={cells['running']} backoff={cells['backoff']}")
+        for line in format_fleet_workers(status):
+            print(line)
+        stale = [entry for entry in status["leases"] if entry["stale"]]
+        if stale:
+            print(f"{len(stale)} stale lease(s) awaiting reclaim")
+        return 0
+    return _cmd_fleet_run(args, resume=args.fleet_command == "resume")
+
+
+def _cmd_fleet_run(args: argparse.Namespace, *, resume: bool) -> int:
+    from repro.cache import ResultCache
+    from repro.fleet import run_fleet
+    from repro.obs.progress import format_fleet_heartbeat
+
+    cache = ResultCache(args.cache_dir)
+    on_status = None
+    if args.progress:
+        def on_status(status: dict) -> None:
+            print(format_fleet_heartbeat(status, label="fleet"),
+                  file=sys.stderr, flush=True)
+    if resume:
+        configs = None
+        kwargs = {}
+    else:
+        from repro.experiments.largescale import default_config
+
+        config = default_config(args.sizes, n_flows=args.flows,
+                                seed=args.seed)
+        if args.faults:
+            config = config.with_(faults=args.faults)
+        configs = [config.with_(scheme=s, load=l)
+                   for s in args.schemes for l in args.loads]
+        kwargs = dict(max_attempts=1 + args.retries,
+                      lease_ttl=args.lease_ttl)
+    try:
+        result = run_fleet(configs, fleet_dir=args.dir, cache=cache,
+                           workers=args.workers, on_status=on_status,
+                           **kwargs)
+    except KeyboardInterrupt:
+        # Workers were drained gracefully (each finished and cached its
+        # current cell); exit 0 so `repro fleet run … && repro fleet
+        # run …` chains straight into the resume.
+        print(f"fleet: interrupted — workers drained; resume with"
+              f" `repro fleet resume --dir {args.dir}`", file=sys.stderr)
+        return 0
+    return _emit_fleet_result(args, result)
+
+
+def _emit_fleet_result(args: argparse.Namespace, result) -> int:
+    """Tabulate + CSV, byte-identical to ``repro sweep`` on the same grid."""
+    from repro.experiments.largescale import sweep_row, tabulate
+    from repro.experiments.runner import TaskFailure
+    from repro.metrics.export import write_metrics_csv
+
+    state = result.state
+    cells = state.ordered()
+    configs = [state.config_for(cell) for cell in cells]
+    grid = [(c.scheme, c.load) for c in configs]
+    sizes = configs[0].sizes if configs else "web_search"
+    ok = [((s, l), m) for (s, l), m in zip(grid, result.results)
+          if m is not None and not isinstance(m, TaskFailure)]
+    failed = [((s, l), m) for (s, l), m in zip(grid, result.results)
+              if isinstance(m, TaskFailure)]
+    rows = [sweep_row(s, l, m) for (s, l), m in ok]
+    print(tabulate(rows, sizes))
+    print(f"fleet: {len(grid)} row(s) — {result.computed} computed,"
+          f" {result.cached} cached, {len(failed)} failed", file=sys.stderr)
+    for (s, l), f in failed:
+        print(f"FAILED scheme={s} load={l:g} after {f.attempts} attempt(s):"
+              f" {f.error}", file=sys.stderr)
+    if not result.complete:
+        print(f"fleet: incomplete — resume with"
+              f" `repro fleet resume --dir {args.dir}`", file=sys.stderr)
+    if args.csv and ok:
+        from repro.obs import build_manifest
+
+        extra = {"sweep": {"schemes": sorted({s for s, _ in grid}),
+                           "loads": sorted({l for _, l in grid}),
+                           "failed": [{"scheme": s, "load": l,
+                                       "error": f.error}
+                                      for (s, l), f in failed]},
+                 "fleet": {"dir": str(args.dir),
+                           "computed": result.computed,
+                           "cached": result.cached}}
+        manifest = build_manifest(configs[0], counters=None, extra=extra)
+        path = write_metrics_csv(
+            args.csv, [m for _, m in ok],
+            extra_columns=[{"load": l, "swept_scheme": s}
+                           for (s, l), _ in ok],
+            manifest=manifest)
+        print("wrote", path)
+    return 1 if failed and not ok else 0
+
+
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     from repro.obs import format_trace_summary, summarize_trace
 
@@ -662,6 +851,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "model":

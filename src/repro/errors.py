@@ -46,3 +46,8 @@ class SchemeError(ConfigError):
 
 class FaultError(ConfigError):
     """A fault schedule was malformed or targets unknown fabric elements."""
+
+
+class FleetError(ReproError, RuntimeError):
+    """The distributed sweep fabric hit an unrecoverable coordination
+    problem (journal mismatch, unresolvable runner, corrupt fleet dir)."""

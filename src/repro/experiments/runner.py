@@ -46,6 +46,11 @@ layers of protection:
 * **Bounded retries** (``retries=N``): each task is attempted up to
   ``1 + N`` times before it is declared failed — transient failures
   (OOM-killed worker, flaky filesystem) don't waste the whole row.
+  Retries are spent only on *retryable* errors: a fatal one (a
+  :class:`~repro.errors.ConfigError`, a type error — anything
+  :func:`repro.fleet.taxonomy.is_fatal` classifies as a pure function
+  of the config) fails fast on its first attempt instead of burning
+  the budget on a deterministic outcome.
 * **Pool fallback**: if worker processes cannot be created at all (no
   ``fork`` on the platform, sandboxed environments) or the pool breaks
   mid-flight (a worker was killed), remaining tasks transparently run
@@ -76,6 +81,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.errors import ConfigError
 from repro.experiments.common import ScenarioConfig, run_scenario_metrics
+from repro.fleet.taxonomy import is_fatal
 from repro.metrics.collector import RunMetrics
 from repro.obs.progress import ProgressReporter
 
@@ -125,6 +131,8 @@ class _ChunkItemError:
 
     error: str
     traceback: str
+    #: classified worker-side while the live exception is still in hand
+    fatal: bool = False
 
 
 def _run_chunk(runner: Callable, configs: list) -> list:
@@ -137,7 +145,8 @@ def _run_chunk(runner: Callable, configs: list) -> list:
             out.append(_ChunkItemError(
                 f"{type(exc).__name__}: {exc}",
                 "".join(_traceback.format_exception(
-                    type(exc), exc, exc.__traceback__))))
+                    type(exc), exc, exc.__traceback__)),
+                fatal=is_fatal(exc)))
     return out
 
 
@@ -176,12 +185,17 @@ def _run_serial_task(
     retries: int,
     on_error: str,
 ) -> Union[RunMetrics, TaskFailure]:
-    """One task in-process, with the retry budget applied."""
+    """One task in-process, with the retry budget applied.
+
+    Fatal errors (deterministic functions of the config — see
+    :func:`repro.fleet.taxonomy.is_fatal`) fail on the first attempt;
+    only retryable ones consume the budget.
+    """
     for attempt in range(1, retries + 2):
         try:
             return runner(config)
         except Exception as exc:
-            if attempt <= retries:
+            if attempt <= retries and not is_fatal(exc):
                 continue
             if on_error == "raise":
                 raise
@@ -214,6 +228,7 @@ def run_many(
     timeout: Optional[float] = None,
     cache=None,
     chunksize: Optional[int] = None,
+    fleet_dir=None,
 ) -> list:
     """Run scenarios, preserving input order.
 
@@ -246,6 +261,15 @@ def run_many(
     chunksize:
         Tasks per worker round-trip; ``None`` picks automatically
         (1 for small batches or when ``timeout`` is armed).
+    fleet_dir:
+        Route the sweep through the crash-resilient fleet fabric
+        (:mod:`repro.fleet`) instead of an in-process pool: cells are
+        journaled in this directory, claimed by lease-holding worker
+        processes, and survive worker SIGKILL / machine loss — a
+        rerun with the same directory resumes with zero recomputation.
+        Requires ``cache``; ``processes`` becomes the worker count
+        (``0`` → one inline worker), ``timeout``/``chunksize`` do not
+        apply, and ``retries`` maps to the fleet's attempt budget.
     """
     if on_error not in ("raise", "record"):
         raise ConfigError(f"on_error must be 'raise' or 'record', got {on_error!r}")
@@ -258,6 +282,11 @@ def run_many(
     configs = list(configs)
     if not configs:
         return []
+    if fleet_dir is not None:
+        return _run_fleet_backend(
+            configs, fleet_dir=fleet_dir, cache=cache, runner=runner,
+            processes=processes, retries=retries, on_error=on_error,
+            progress=progress, label=label)
     reporter: Optional[ProgressReporter] = None
     if isinstance(progress, ProgressReporter):
         reporter = progress
@@ -296,6 +325,53 @@ def run_many(
         cache=cache, chunksize=chunksize,
     )
     return results
+
+
+def _run_fleet_backend(
+    configs: list,
+    *,
+    fleet_dir,
+    cache,
+    runner: Callable,
+    processes: Optional[int],
+    retries: int,
+    on_error: str,
+    progress,
+    label: str,
+) -> list:
+    """Route the sweep through :mod:`repro.fleet` (``fleet_dir=...``)."""
+    if cache is None:
+        raise ConfigError(
+            "fleet_dir requires a result cache (pass cache=...): the fleet"
+            " fabric stores every result content-addressed so crashed and"
+            " resumed runs never recompute")
+    from repro.fleet import run_fleet
+    from repro.obs.progress import format_fleet_heartbeat
+
+    on_status = None
+    if progress:
+        import sys
+
+        def on_status(status: dict) -> None:
+            print(format_fleet_heartbeat(status, label=label),
+                  file=sys.stderr, flush=True)
+
+    # The default runner is resolvable by dotted spec inside worker
+    # subprocesses; only a custom runner needs to travel as an object.
+    fleet_runner = None if runner is run_scenario_metrics else runner
+    result = run_fleet(
+        configs,
+        fleet_dir=fleet_dir,
+        cache=cache,
+        workers=processes,
+        runner=fleet_runner,
+        max_attempts=1 + retries,
+        on_status=on_status,
+    )
+    if result.failures and on_error == "raise":
+        first = result.failures[0]
+        raise TaskError(f"{first.error}\n{first.traceback}")
+    return result.results
 
 
 def _auto_chunksize(n_tasks: int, processes: int,
@@ -361,9 +437,10 @@ def _run_pool(
     def finish(idx: int, result) -> None:
         results[idx] = _record(reporter, cache, configs[idx], result)
 
-    def item_failed(idx: int, error: str, traceback: str) -> bool:
+    def item_failed(idx: int, error: str, traceback: str,
+                    *, fatal: bool = False) -> bool:
         """Retry or record one failed chunk item; True if rescheduled."""
-        if attempts[idx] <= retries:
+        if attempts[idx] <= retries and not fatal:
             attempts[idx] += 1
             submit_single(idx)
             return True
@@ -399,8 +476,10 @@ def _run_pool(
                     # A single task's exception, or a chunk that failed
                     # wholesale (e.g. its result would not pickle):
                     # apply the retry budget to every task it carried.
+                    # Fatal errors never retry — they are deterministic
+                    # functions of the config.
                     for idx in idxs:
-                        if attempts[idx] <= retries:
+                        if attempts[idx] <= retries and not is_fatal(exc):
                             attempts[idx] += 1
                             submit_single(idx)
                             continue
@@ -414,7 +493,8 @@ def _run_pool(
                     continue
                 for idx, item in zip(idxs, payload):
                     if isinstance(item, _ChunkItemError):
-                        item_failed(idx, item.error, item.traceback)
+                        item_failed(idx, item.error, item.traceback,
+                                    fatal=item.fatal)
                     else:
                         finish(idx, item)
             if timeout is None:
@@ -431,6 +511,14 @@ def _run_pool(
                 started.pop(fut, None)
                 fut.cancel()  # running futures ignore this; slot is lost
                 any_timeout = True
+                if len(idxs) > 1:
+                    # A multi-task chunk timed out as a unit, but at most
+                    # one of its tasks need be hung: resubmit each as its
+                    # own single (no attempt consumed) so the hung one
+                    # times out alone and its chunk-mates still complete.
+                    for idx in idxs:
+                        submit_single(idx)
+                    continue
                 for idx in idxs:
                     if attempts[idx] <= retries:
                         attempts[idx] += 1
@@ -442,10 +530,45 @@ def _run_pool(
                         raise timeout_exc
                     finish(idx, _failure(idx, configs[idx], timeout_exc,
                                          attempts[idx], timed_out=True))
+    except (KeyboardInterrupt, SystemExit):
+        # Interrupted mid-sweep: futures that already completed hold
+        # results the next run would otherwise recompute.  Harvest them
+        # into the result slots (and the cache) before propagating, so
+        # Ctrl-C loses at most the tasks still in flight.
+        _harvest_finished(pending, configs, results, reporter, cache)
+        any_timeout = True  # don't block shutdown on still-running tasks
+        raise
     finally:
         # A hung worker would block a waiting shutdown forever; abandon
         # the pool instead once any task has timed out.
         pool.shutdown(wait=not any_timeout, cancel_futures=True)
+
+
+def _harvest_finished(
+    pending: dict,
+    configs: list,
+    results: list,
+    reporter: Optional[ProgressReporter],
+    cache,
+) -> None:
+    """Collect every already-completed pending future's results.
+
+    Used on interrupt: ``_record`` writes each harvested result through
+    the cache, so an interrupted-then-rerun sweep resumes from exactly
+    where the workers got to.  Errors are ignored — the interrupt is
+    already propagating and a rerun will retry them.
+    """
+    for fut, idxs in pending.items():
+        if not fut.done() or fut.cancelled():
+            continue
+        try:
+            payload = fut.result()
+        except BaseException:
+            continue
+        items = [payload] if len(idxs) == 1 else payload
+        for idx, item in zip(idxs, items):
+            if not isinstance(item, _ChunkItemError):
+                results[idx] = _record(reporter, cache, configs[idx], item)
 
 
 def _wait_budget(
@@ -487,19 +610,21 @@ def sweep(
     timeout: Optional[float] = None,
     cache=None,
     chunksize: Optional[int] = None,
+    fleet_dir=None,
     **fixed,
 ) -> list[tuple[object, RunMetrics]]:
     """Vary one config field over ``values`` (other overrides in ``fixed``).
 
     Returns ``[(value, metrics), ...]`` in value order; with
     ``on_error="record"`` a crashed run's metrics slot holds its
-    :class:`TaskFailure` instead.  ``cache``/``chunksize`` pass through
-    to :func:`run_many`.
+    :class:`TaskFailure` instead.  ``cache``/``chunksize``/``fleet_dir``
+    pass through to :func:`run_many`.
     """
     values = list(values)
     configs = [base.with_(**{axis: v}, **fixed) for v in values]
     results = run_many(configs, processes=processes, progress=progress,
                        label=f"sweep:{axis}", on_error=on_error,
                        retries=retries, timeout=timeout,
-                       cache=cache, chunksize=chunksize)
+                       cache=cache, chunksize=chunksize,
+                       fleet_dir=fleet_dir)
     return list(zip(values, results))

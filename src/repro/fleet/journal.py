@@ -1,0 +1,384 @@
+"""The fleet journal: an append-only, replayable record of a sweep.
+
+One fleet directory holds one sweep.  Its journal (``fleet.jsonl``) is
+the single source of truth for *what the sweep is* and *how far it got*:
+
+* a ``fleet`` header (runner, config type, cache fingerprint, retry
+  policy) written once at plan time,
+* one ``cell`` record per grid cell, in grid order, carrying the full
+  config as JSON (so ``repro fleet resume`` needs no CLI arguments),
+* lifecycle records appended by workers and the watchdog as the sweep
+  runs: ``claim``, ``done``, ``error``, ``reclaim``, ``drain``.
+
+Durability model
+----------------
+The *plan* (header + cells) is written through a temporary file and
+:func:`os.replace`, like the result cache: a crash during planning
+leaves no journal at all, never a half-plan.  Runtime records are
+appended one fsync'd line at a time with ``O_APPEND``, which POSIX makes
+atomic for writes of this size; a process killed mid-append can at worst
+leave one torn trailing line, which :func:`read_records` detects and
+ignores (the cell it described merely looks unfinished and is re-run —
+correctness is never at stake because results live in the cache).
+
+Replaying the journal (:func:`fold`) is idempotent and order-tolerant
+within a cell: ``done`` is terminal, a fatal or attempt-exhausting
+``error`` is terminal, and everything else accumulates attempts and
+backoff.  Two workers racing the same cell (possible only after a
+lease reclaim) both write benign records — the deterministic result
+they race to produce is byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import FleetError
+
+__all__ = [
+    "JOURNAL_NAME",
+    "CellState",
+    "FleetPaths",
+    "FleetState",
+    "append_record",
+    "callable_spec",
+    "config_from_json",
+    "config_to_json",
+    "fold",
+    "load_state",
+    "read_records",
+    "resolve_callable",
+    "write_plan",
+]
+
+JOURNAL_NAME = "fleet.jsonl"
+
+JOURNAL_VERSION = 1
+
+#: cell lifecycle states produced by :func:`fold`
+PENDING, DONE, FAILED = "pending", "done", "failed"
+
+
+@dataclass(frozen=True)
+class FleetPaths:
+    """The on-disk layout of one fleet directory."""
+
+    root: Path
+
+    @property
+    def journal(self) -> Path:
+        return self.root / JOURNAL_NAME
+
+    @property
+    def leases(self) -> Path:
+        return self.root / "leases"
+
+    @property
+    def workers(self) -> Path:
+        return self.root / "workers"
+
+    def ensure(self) -> "FleetPaths":
+        self.leases.mkdir(parents=True, exist_ok=True)
+        self.workers.mkdir(parents=True, exist_ok=True)
+        return self
+
+    def lease_files(self) -> list[Path]:
+        try:
+            return sorted(p for p in self.leases.glob("*.json")
+                          if not p.name.startswith("."))
+        except OSError:
+            return []
+
+    def worker_files(self) -> list[Path]:
+        try:
+            return sorted(p for p in self.workers.glob("*.json")
+                          if not p.name.startswith("."))
+        except OSError:
+            return []
+
+
+# -- dotted-path plumbing --------------------------------------------------
+
+def callable_spec(fn: Callable) -> str:
+    """``module:qualname`` for ``fn``, verified to round-trip.
+
+    Worker processes import the runner by this spec, so it must resolve
+    to the same object from a fresh interpreter; lambdas, closures and
+    instance methods are rejected here rather than failing inside a
+    worker.
+    """
+    spec = f"{getattr(fn, '__module__', None)}:{getattr(fn, '__qualname__', None)}"
+    try:
+        if resolve_callable(spec) is not fn:
+            raise FleetError(
+                f"runner {fn!r} does not round-trip through {spec!r};"
+                " fleet runners must be module-level functions")
+    except (ImportError, AttributeError) as exc:
+        raise FleetError(
+            f"runner {fn!r} is not importable as {spec!r}: {exc}") from exc
+    return spec
+
+
+def resolve_callable(spec: str) -> Callable:
+    """Import ``module:qualname`` back into the named object."""
+    module_name, _, qualname = spec.partition(":")
+    if not module_name or not qualname:
+        raise FleetError(f"malformed callable spec {spec!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+# -- config (de)serialisation ----------------------------------------------
+
+def config_to_json(config: Any) -> dict:
+    """A JSON-safe dict for a (dataclass) scenario config."""
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise FleetError(
+            f"fleet cells must be dataclass configs, got {type(config).__name__}")
+    return dataclasses.asdict(config)
+
+
+def config_from_json(cls: type, data: dict) -> Any:
+    """Rebuild a config dataclass from its JSON dict.
+
+    JSON has no tuples, so any list arriving for a tuple-typed field
+    (``link_overrides``, ``trace_kinds``) is converted back, one level
+    of nesting deep.
+    """
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if isinstance(value, list) and "tuple" in str(f.type):
+            value = tuple(
+                tuple(v) if isinstance(v, list) else v for v in value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def type_spec(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+# -- journal I/O -----------------------------------------------------------
+
+def write_plan(path: Path, header: dict, cells: Iterable[dict]) -> None:
+    """Write a fresh journal (header + cell records) atomically."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    try:
+        with tmp.open("w") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for cell in cells:
+                fh.write(json.dumps(cell, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def append_record(path: Path, record: dict) -> None:
+    """Append one journal line (single ``O_APPEND`` write + fsync).
+
+    Lifecycle records are rare (a handful per cell), so the fsync cost
+    is irrelevant next to the simulation time it protects.
+    """
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, line)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_records(path: Path) -> list[dict]:
+    """Every well-formed journal record, tolerating a torn tail.
+
+    A record that does not parse is skipped; only the *final* line may
+    legitimately be torn (killed mid-append), but skipping any malformed
+    line is safe because records are self-describing and the fold treats
+    a missing lifecycle record as "still pending".
+    """
+    records: list[dict] = []
+    try:
+        raw = path.read_text()
+    except FileNotFoundError:
+        return records
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "kind" in record:
+            records.append(record)
+    return records
+
+
+# -- replay ----------------------------------------------------------------
+
+@dataclass
+class CellState:
+    """One grid cell's folded journal state."""
+
+    key: str
+    index: int
+    config: dict
+    status: str = PENDING
+    #: failed runs so far (bounded by the header's ``max_attempts``)
+    attempts: int = 0
+    #: lease reclaims so far — crashes, not errors — bounded separately
+    #: by ``max_reclaims`` so a worker SIGKILL never eats the error
+    #: budget (and a crash-looping cell still terminates)
+    reclaims: int = 0
+    #: wall-clock time before which the cell must not be retried
+    not_before: float = 0.0
+    #: the last recorded error message (fatal or transient)
+    error: str = ""
+    traceback: str = ""
+    #: whether the terminal error was classified fatal (vs exhausted)
+    fatal: bool = False
+    #: last worker that touched the cell
+    worker: str = ""
+    #: True when the plan (or a later claim) found the result cached
+    cached: bool = False
+
+    @property
+    def open(self) -> bool:
+        return self.status == PENDING
+
+
+@dataclass
+class FleetState:
+    """The whole journal, folded: header + per-cell states in grid order."""
+
+    header: dict = field(default_factory=dict)
+    cells: dict[str, CellState] = field(default_factory=dict)
+    #: per-worker drain records (worker id → signal name)
+    drained: dict[str, str] = field(default_factory=dict)
+
+    def ordered(self) -> list[CellState]:
+        return sorted(self.cells.values(), key=lambda c: c.index)
+
+    def open_cells(self) -> list[CellState]:
+        return [c for c in self.ordered() if c.open]
+
+    def counts(self) -> dict[str, int]:
+        out = {DONE: 0, FAILED: 0, PENDING: 0}
+        for cell in self.cells.values():
+            out[cell.status] += 1
+        return out
+
+    def config_type(self) -> type:
+        spec = self.header.get("config_type")
+        if not spec:
+            raise FleetError("journal header carries no config_type")
+        cls = resolve_callable(spec)
+        if not isinstance(cls, type):
+            raise FleetError(f"config_type {spec!r} is not a class")
+        return cls
+
+    def config_for(self, cell: CellState) -> Any:
+        return config_from_json(self.config_type(), cell.config)
+
+
+def fold(records: Iterable[dict]) -> FleetState:
+    """Replay journal records into a :class:`FleetState`."""
+    state = FleetState()
+    for record in records:
+        kind = record.get("kind")
+        if kind == "fleet":
+            state.header = record
+            continue
+        if kind == "drain":
+            state.drained[str(record.get("worker", ""))] = \
+                str(record.get("signal", ""))
+            continue
+        key = record.get("cell")
+        if not key:
+            continue
+        if kind == "cell":
+            state.cells[key] = CellState(
+                key=key,
+                index=int(record.get("index", len(state.cells))),
+                config=record.get("config", {}),
+                cached=bool(record.get("cached", False)),
+                status=DONE if record.get("cached") else PENDING,
+            )
+            continue
+        cell = state.cells.get(key)
+        if cell is None or cell.status == DONE:
+            continue  # unknown cell, or done is terminal
+        if kind == "claim":
+            cell.worker = str(record.get("worker", ""))
+        elif kind == "done":
+            cell.status = DONE
+            cell.worker = str(record.get("worker", cell.worker))
+            cell.cached = cell.cached or bool(record.get("from_cache"))
+        elif kind in ("error", "reclaim"):
+            attempt = int(record.get("attempt", 0))
+            cell.not_before = max(cell.not_before,
+                                  float(record.get("not_before", 0.0)))
+            cell.worker = str(record.get("worker", cell.worker))
+            if kind == "error":
+                cell.attempts = max(cell.attempts, attempt or
+                                    cell.attempts + 1)
+                cell.error = str(record.get("error", ""))
+                cell.traceback = str(record.get("traceback", ""))
+            else:
+                cell.reclaims = max(cell.reclaims, attempt or
+                                    cell.reclaims + 1)
+                cell.error = cell.error or (
+                    f"lease reclaimed from worker"
+                    f" {record.get('worker', '?')} (stale heartbeat)")
+            if record.get("terminal"):
+                cell.status = FAILED
+                cell.fatal = bool(record.get("fatal", False))
+    return state
+
+
+def load_state(path: Path) -> FleetState:
+    """Read and fold the journal at ``path`` (missing → empty state)."""
+    return fold(read_records(path))
+
+
+def new_header(*, runner_spec: str, config_type_spec: str, fingerprint: str,
+               cache_dir: str, n_cells: int, max_attempts: int,
+               backoff_base: float, lease_ttl: float, max_reclaims: int = 5,
+               clock: Callable[[], float] = time.time,
+               extra: Optional[dict] = None) -> dict:
+    header = {
+        "kind": "fleet",
+        "version": JOURNAL_VERSION,
+        "created": clock(),
+        "runner": runner_spec,
+        "config_type": config_type_spec,
+        "fingerprint": fingerprint,
+        "cache_dir": cache_dir,
+        "n_cells": n_cells,
+        "max_attempts": max_attempts,
+        "max_reclaims": max_reclaims,
+        "backoff_base": backoff_base,
+        "lease_ttl": lease_ttl,
+    }
+    if extra:
+        header.update(extra)
+    return header

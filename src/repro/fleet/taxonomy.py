@@ -1,0 +1,51 @@
+"""Retryable-vs-fatal error classification for sweeps and fleets.
+
+A crashed worker, an OOM kill, a flaky filesystem — those are
+*retryable*: running the same cell again may well succeed, so the retry
+budget exists for them.  A :class:`~repro.errors.ConfigError` or a type
+error inside a deterministic runner is *fatal*: the same config will
+raise the same exception on every attempt, so burning the retry budget
+on it only delays the failure report (and, in a fleet, wastes another
+worker's time on every backoff round).
+
+The split is intentionally conservative: only error families that are a
+pure function of the config are fatal.  A plain ``ValueError`` or
+``RuntimeError`` stays retryable — simulation code raises those for
+environment-dependent conditions too, and a wasted retry is cheaper
+than a wrongly-abandoned cell.
+
+Runners can override the classification per exception by setting a
+boolean ``retryable`` attribute on the instance before raising.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, ModelError
+
+__all__ = ["FATAL_TYPES", "is_fatal"]
+
+#: exception families whose outcome is a pure function of the config:
+#: re-running the identical cell cannot change the result.
+#: ``ConfigError`` covers its whole subtree (TopologyError, SchemeError,
+#: FaultError); ``ModelError`` is the analytic model rejecting its
+#: inputs; the builtins are deterministic programming/validation bugs.
+FATAL_TYPES = (
+    ConfigError,
+    ModelError,
+    TypeError,
+    NotImplementedError,
+    AttributeError,
+)
+
+
+def is_fatal(exc: BaseException) -> bool:
+    """Whether ``exc`` should fail fast instead of consuming retries.
+
+    An explicit boolean ``retryable`` attribute on the exception wins
+    over the type-based classification, so runners can mark a nominally
+    fatal type as transient (or vice versa).
+    """
+    retryable = getattr(exc, "retryable", None)
+    if isinstance(retryable, bool):
+        return not retryable
+    return isinstance(exc, FATAL_TYPES)

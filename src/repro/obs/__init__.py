@@ -14,7 +14,8 @@ and makes whole runs self-describing:
   (events/sec, sim-time/wall-time ratio, peak memory);
 * :func:`build_manifest` / :func:`write_manifest` — ``manifest.json``
   beside every export, recording exactly what produced it;
-* :class:`ProgressReporter` — heartbeat + ETA for multi-run sweeps;
+* :class:`ProgressReporter` — heartbeat + ETA for multi-run sweeps
+  (plus :func:`format_fleet_heartbeat` for multi-worker fleet sweeps);
 * :func:`summarize_trace` — aggregate a JSONL trace back into tables;
 * :class:`FlightRecorder` / :class:`RecordedRun` — bounded in-sim
   time-series sampling with a q_th decision audit (``repro run
@@ -32,7 +33,11 @@ and makes whole runs self-describing:
 from repro.obs.diff import MetricDelta, diff_paths, diff_rows, format_diff, load_rows
 from repro.obs.manifest import MANIFEST_NAME, build_manifest, git_sha, write_manifest
 from repro.obs.profiler import EngineProfiler
-from repro.obs.progress import ProgressReporter
+from repro.obs.progress import (
+    ProgressReporter,
+    format_fleet_heartbeat,
+    format_fleet_workers,
+)
 from repro.obs.recorder import FlightRecorder, RecordedRun
 from repro.obs.report import render_html_report, write_html_report
 from repro.obs.spans import SpanBuffer, format_explain, load_spans
@@ -54,6 +59,8 @@ __all__ = [
     "git_sha",
     "write_manifest",
     "ProgressReporter",
+    "format_fleet_heartbeat",
+    "format_fleet_workers",
     "TraceSummary",
     "format_trace_summary",
     "summarize_trace",

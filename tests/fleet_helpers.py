@@ -1,0 +1,63 @@
+"""Module-level config + runners for the fleet tests.
+
+Fleet worker subprocesses resolve the runner and the config type by
+``module:qualname`` spec, so everything here must be a plain
+module-level name importable from a fresh interpreter (the coordinator
+propagates ``sys.path`` to workers via ``PYTHONPATH``).
+
+Cross-process call counting goes through files whose paths ride along
+in the config (one line appended per compute), the same convention as
+``test_runner_cache.py``.
+"""
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fake sweep cell; all side-channel paths travel in the config."""
+
+    tag: str
+    #: file: one line appended per *compute* (not per cache hit)
+    log: str = ""
+    #: seconds of fake simulation time
+    sleep: float = 0.0
+    #: while this file exists, computing this cell consumes the file and
+    #: SIGKILLs its worker — crash once, succeed on the retry
+    crash_file: str = ""
+    #: raise ConfigError (fatal, never retried)
+    fatal: bool = False
+    #: raise ValueError (retryable) while this file exists, consuming it
+    flake_file: str = ""
+
+
+def compute(cell: Cell) -> dict:
+    """Deterministic stand-in for ``run_scenario_metrics``."""
+    if cell.crash_file and os.path.exists(cell.crash_file):
+        os.remove(cell.crash_file)
+        os.kill(os.getpid(), signal.SIGKILL)
+    if cell.fatal:
+        raise ConfigError(f"poisoned cell {cell.tag}")
+    if cell.flake_file and os.path.exists(cell.flake_file):
+        os.remove(cell.flake_file)
+        raise ValueError(f"transient failure in {cell.tag}")
+    if cell.sleep:
+        time.sleep(cell.sleep)
+    if cell.log:
+        with open(cell.log, "a") as fh:
+            fh.write(cell.tag + "\n")
+    return {"tag": cell.tag, "value": sum(cell.tag.encode())}
+
+
+def calls(log_path) -> int:
+    """How many computes the log file has recorded."""
+    try:
+        with open(log_path) as fh:
+            return sum(1 for line in fh if line.strip())
+    except FileNotFoundError:
+        return 0

@@ -201,6 +201,90 @@ def test_gc_validates_max_bytes(tmp_path):
         make_cache(tmp_path).gc(-1)
 
 
+def test_contains_probes_without_counting(tmp_path):
+    cache = make_cache(tmp_path)
+    assert not cache.contains(BASE)
+    cache.put(BASE, "x")
+    assert cache.contains(BASE)
+    assert not cache.contains("a string")  # unkeyable: False, no crash
+    assert cache.hits == 0 and cache.misses == 0  # probes are free
+
+
+def test_quarantine_accounting_and_gc_purge(tmp_path):
+    """A corrupt entry is moved aside (not deleted), shows up in stats
+    with a byte count, and `gc` purges it even with a huge size cap."""
+    cache = make_cache(tmp_path)
+    path = cache.put(BASE, [1, 2, 3])
+    path.write_bytes(b"corrupt garbage")
+    assert cache.get(BASE) is None  # quarantined on read
+    stats = cache.stats()
+    assert stats.quarantined == 1
+    assert stats.quarantined_bytes > 0
+    assert "quarantine" in stats.summary()
+    quarantined = list((cache.root / "quarantine").iterdir())
+    assert len(quarantined) == 1
+    removed, freed = cache.gc(10**12)  # cap far above usage: purge only
+    assert removed == 1 and freed > 0
+    assert cache.stats().quarantined == 0
+    assert not quarantined[0].exists()
+
+
+def test_clear_empties_quarantine_too(tmp_path):
+    cache = make_cache(tmp_path)
+    path = cache.put(BASE, "x")
+    path.write_bytes(b"junk")
+    assert cache.get(BASE) is None
+    cache.clear()
+    stats = cache.stats()
+    assert stats.entries == 0 and stats.quarantined == 0
+
+
+def test_gc_compacts_stale_index_without_evicting(tmp_path):
+    """Repeated puts of the same key grow index.jsonl with duplicate
+    lines; gc rewrites it to one line per live entry even when nothing
+    gets evicted."""
+    cache = make_cache(tmp_path)
+    for _ in range(4):
+        cache.put(BASE, "same key every time")
+    stats = cache.stats()
+    assert stats.entries == 1 and stats.index_lines == 4
+    assert "index" in stats.summary()
+    removed, _ = cache.gc(10**12)
+    assert removed == 0
+    stats = cache.stats()
+    assert stats.entries == 1 and stats.index_lines == 1
+
+
+def test_gc_protects_active_fleet_cells(tmp_path):
+    """Cells planned by a fleet with fresh heartbeats survive LRU
+    eviction — a concurrent `repro cache gc` cannot pull results out
+    from under a running sweep."""
+    import json
+    import os
+
+    cache = make_cache(tmp_path)
+    protected_cfg = BASE.with_(seed=1)
+    victim_cfg = BASE.with_(seed=2)
+    protected = cache.put(protected_cfg, "precious")
+    victim = cache.put(victim_cfg, "evictable")
+    # make the protected entry the LRU candidate
+    os.utime(protected, (1, 1))
+    fleet_dir = cache.root / "fleets" / "f1"
+    (fleet_dir / "leases").mkdir(parents=True)
+    (fleet_dir / "leases" / "live.json").write_text("{}")  # fresh mtime
+    cell = {"kind": "cell", "cell": cache.key_for(protected_cfg),
+            "index": 0, "config": {}}
+    (fleet_dir / "fleet.jsonl").write_text(json.dumps(cell) + "\n")
+    removed, _ = cache.gc(0)
+    assert removed == 1
+    assert protected.exists() and not victim.exists()
+    # once the fleet goes quiet (stale heartbeats), protection lapses
+    old = 1.0
+    os.utime(fleet_dir / "leases" / "live.json", (old, old))
+    removed, _ = cache.gc(0)
+    assert removed == 1 and not protected.exists()
+
+
 def test_concurrent_style_put_same_key_last_wins(tmp_path):
     a = make_cache(tmp_path)
     b = ResultCache(a.root, fingerprint=FP)

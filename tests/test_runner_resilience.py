@@ -7,6 +7,7 @@ them beyond passing them to the runner).
 
 import os
 import time
+from dataclasses import dataclass
 
 import pytest
 
@@ -16,6 +17,13 @@ from repro.experiments.runner import TaskFailure, partition_results, run_many
 
 def _echo(config):
     return config
+
+
+@dataclass(frozen=True)
+class _KeyedCfg:
+    """A cache-keyable config (the result cache only keys dataclasses)."""
+
+    tag: str
 
 
 def _boom(config):
@@ -133,3 +141,117 @@ def test_pool_creation_failure_falls_back_to_serial(monkeypatch):
 
 def test_empty_input_short_circuits():
     assert run_many([], runner=_echo) == []
+
+
+# -- fatal-error fail-fast ---------------------------------------------------
+
+def _fatal_boom(config):
+    """Deterministic config problem: must never be retried."""
+    path, tag = config
+    with open(path, "a") as fh:
+        fh.write(tag + "\n")
+    raise ConfigError(f"bad config {tag}")
+
+
+def _count_lines(path):
+    try:
+        with open(path) as fh:
+            return sum(1 for _ in fh)
+    except FileNotFoundError:
+        return 0
+
+
+def test_serial_fatal_error_never_retries(tmp_path):
+    """A ConfigError is a pure function of the config — retrying it burns
+    the budget on a foregone conclusion.  Regression test for the old
+    behaviour of retrying *every* exception type."""
+    log = tmp_path / "calls.log"
+    [failure] = run_many([(str(log), "x")], processes=0, runner=_fatal_boom,
+                         on_error="record", retries=3)
+    assert isinstance(failure, TaskFailure)
+    assert failure.attempts == 1  # failed fast, budget untouched
+    assert "ConfigError" in failure.error
+    assert _count_lines(log) == 1  # exactly one invocation
+
+
+def test_serial_fatal_error_raise_mode_is_immediate(tmp_path):
+    log = tmp_path / "calls.log"
+    with pytest.raises(ConfigError):
+        run_many([(str(log), "x")], processes=0, runner=_fatal_boom,
+                 retries=5)
+    assert _count_lines(log) == 1
+
+
+def test_pool_chunked_fatal_error_never_retries(tmp_path):
+    """The worker classifies fatality while the live exception is in
+    hand; the parent honours it across the pickle boundary."""
+    log = tmp_path / "calls.log"
+    configs = [(str(log), "x")] * 3
+    results = run_many(configs, processes=2, runner=_fatal_boom,
+                       on_error="record", retries=2, chunksize=3)
+    assert all(isinstance(r, TaskFailure) for r in results)
+    assert all(r.attempts == 1 for r in results)
+    assert _count_lines(log) == 3  # one invocation per task, no retries
+
+
+def test_retryable_attribute_overrides_type(tmp_path):
+    """An exception can opt out of its type's classification."""
+    calls = {"n": 0}
+
+    def soft_config_error(config):
+        calls["n"] += 1
+        exc = ConfigError("transient despite the type")
+        exc.retryable = True
+        if calls["n"] < 2:
+            raise exc
+        return "ok"
+
+    assert run_many(["x"], processes=0, runner=soft_config_error,
+                    retries=1) == ["ok"]
+    assert calls["n"] == 2
+
+
+# -- interrupt write-back ----------------------------------------------------
+
+def test_pool_interrupt_harvests_finished_results_into_cache(
+        tmp_path, monkeypatch):
+    """Ctrl-C mid-sweep must not abandon results already computed:
+    completed futures are written through the cache before the
+    interrupt propagates, so the rerun resumes instead of redoing."""
+    import repro.experiments.runner as runner_mod
+    from concurrent.futures import ALL_COMPLETED
+    from concurrent.futures import wait as real_wait
+
+    from repro.cache import ResultCache
+
+    def interrupting_wait(futures, timeout=None, return_when=None):
+        # let every in-flight task finish, then interrupt the sweep
+        real_wait(futures, return_when=ALL_COMPLETED)
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(runner_mod, "wait", interrupting_wait)
+    cache = ResultCache(tmp_path / "cache", fingerprint="0" * 64)
+    configs = [_KeyedCfg(tag) for tag in ("a", "b", "c")]
+    with pytest.raises(KeyboardInterrupt):
+        run_many(configs, processes=2, runner=_echo, cache=cache)
+    # every computed result made it to the cache despite the interrupt
+    assert [cache.get(c) for c in configs] == configs
+
+
+# -- chunk timeout isolation -------------------------------------------------
+
+def test_chunk_timeout_isolates_hung_item(tmp_path):
+    """With chunksize>1 and a timeout armed, a hung task must fail
+    alone: its chunk-mates are resubmitted as singles (no attempt
+    consumed) and still complete.
+
+    Three workers so the resubmitted singles never queue behind the
+    hung one (a queued task can be misattributed as running by the
+    pool's call-queue buffering and would falsely time out)."""
+    results = run_many(["fast1", "slow", "fast2"], processes=3,
+                       runner=_sleepy, timeout=0.4, on_error="record",
+                       chunksize=3)
+    assert results[0] == "fast1" and results[2] == "fast2"
+    assert isinstance(results[1], TaskFailure)
+    assert results[1].timed_out
+    assert results[1].attempts == 1  # the chunk round cost no attempts
