@@ -52,6 +52,7 @@ NON_SEMANTIC_FIELDS = frozenset({
     "bin_width",     # bin width of those live trackers
     "spans",         # per-flow span forensics (observability artefact)
     "profile",       # kernel self-profiler (wall-time attribution)
+    "metrics",       # metrics-registry emission (metrics.prom/metrics.json)
 })
 
 

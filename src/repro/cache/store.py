@@ -43,6 +43,7 @@ from typing import Any, Iterable, Iterator, Optional
 
 from repro.cache.key import cache_key, code_fingerprint
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir", "parse_size"]
 
@@ -127,6 +128,12 @@ class CacheStats:
                 " to compact")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable form (``repro cache stats --json``)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 class ResultCache:
     """Content-addressed store of per-scenario results.
@@ -140,14 +147,24 @@ class ResultCache:
         Code fingerprint folded into every key; defaults to
         :func:`~repro.cache.key.code_fingerprint` of the installed
         package.  Tests inject a constant to decouple from the tree.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` lookups, puts,
+        quarantines and gc report into; defaults to the process-wide
+        registry.  Tests inject a private one to isolate counts.
     """
 
     def __init__(self, root: Optional[str | Path] = None, *,
-                 fingerprint: Optional[str] = None):
+                 fingerprint: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self._fingerprint = fingerprint
+        self._metrics = metrics if metrics is not None else get_registry()
         self.hits = 0
         self.misses = 0
+
+    def _count(self, name: str, help: str, amount: float = 1,
+               **labels) -> None:
+        self._metrics.counter(name, help).inc(amount, **labels)
 
     # -- key plumbing ------------------------------------------------------
 
@@ -190,6 +207,8 @@ class ResultCache:
 
     def _quarantine(self, path: Path, key: str) -> None:
         """Move a corrupt entry aside for ``stats``/``gc`` accounting."""
+        self._count("repro_cache_quarantined_total",
+                    "Corrupt entries moved to quarantine on read.")
         target = self._quarantine_path(key)
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
@@ -206,10 +225,13 @@ class ResultCache:
         Counts the lookup in :attr:`hits`/:attr:`misses`; a corrupted
         entry is quarantined and reported as a miss, never an error.
         """
+        lookups = "repro_cache_lookups_total"
+        lookups_help = "Cache lookups by result."
         try:
             key = self.key_for(config)
         except TypeError:
             self.misses += 1
+            self._count(lookups, lookups_help, result="miss")
             return None
         path = self._object_path(key)
         try:
@@ -217,14 +239,17 @@ class ResultCache:
             result = pickle.loads(blob)
         except FileNotFoundError:
             self.misses += 1
+            self._count(lookups, lookups_help, result="miss")
             return None
         except Exception:
             # Truncated/corrupted/unreadable entry: set it aside (so
             # `repro cache stats` can report the corruption) and recompute.
             self._quarantine(path, key)
             self.misses += 1
+            self._count(lookups, lookups_help, result="miss")
             return None
         self.hits += 1
+        self._count(lookups, lookups_help, result="hit")
         try:  # LRU signal for gc(); never worth failing a hit over
             os.utime(path)
         except OSError:
@@ -255,6 +280,9 @@ class ResultCache:
             except OSError:
                 pass
             return None
+        self._count("repro_cache_puts_total", "Results written to the cache.")
+        self._count("repro_cache_put_bytes_total",
+                    "Bytes written to the cache.", len(blob))
         self._append_index(key, config, len(blob))
         return path
 
@@ -459,6 +487,14 @@ class ResultCache:
         live = {p.stem for p in self._iter_objects()}
         if self._count_index_lines() != len(live):
             self._compact_index()
+        self._count("repro_cache_gc_runs_total", "Garbage-collection passes.")
+        if removed:
+            self._count("repro_cache_gc_evicted_total",
+                        "Entries removed by gc (quarantine included).",
+                        removed)
+        if freed:
+            self._count("repro_cache_gc_freed_bytes_total",
+                        "Bytes freed by gc.", freed)
         return removed, freed
 
     def _compact_index(self) -> None:

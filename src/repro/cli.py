@@ -37,14 +37,27 @@ Commands
     (``BENCH_pr5.json``).  ``bench --spans-smoke`` measures span-
     collection overhead and verifies spans never change the simulation.
 ``cache``
-    Result-cache maintenance: ``stats``, ``clear``, ``gc --max-size``.
+    Result-cache maintenance: ``stats`` (``--json`` for machines),
+    ``clear``, ``gc --max-size``.
 ``fleet run`` / ``resume`` / ``status`` / ``workers``
     Crash-resilient distributed sweeps: cells are journaled into a fleet
     directory, claimed by lease-holding worker processes, and written to
     the shared result cache — a SIGKILLed worker's lease is reclaimed by
     the watchdog and rerunning (or ``fleet resume``) recomputes nothing
     already finished.  ``status``/``workers`` inspect a live or crashed
-    fleet without touching it.
+    fleet without touching it (``status --json`` for machines).
+``fleet top`` / ``fleet report``
+    Mission control over a fleet directory: ``top`` is a live
+    auto-refreshing terminal view (per-worker liveness, stragglers,
+    drain-rate ETA, reclaim churn); ``report DIR --html`` renders the
+    same view as a self-contained dashboard (worker swimlanes,
+    cell-latency histogram, cache-hit share over time).
+
+``run``, ``sweep``, and fleet runs additionally drop a
+``metrics.prom`` / ``metrics.json`` pair beside any ``--csv`` /
+``--json`` export (and in the fleet directory): Prometheus-style
+textfile exposition plus a deterministic canonical-JSON dump whose
+non-volatile instruments are byte-identical across seeded reruns.
 
 ``run``, ``sweep``, and ``figure`` all accept ``--cache`` /
 ``--no-cache`` / ``--cache-dir DIR``: with caching on, any scenario
@@ -225,10 +238,32 @@ def build_parser() -> argparse.ArgumentParser:
     fstatus = fleet_sub.add_parser(
         "status", help="cell counts, worker liveness, stale leases")
     fstatus.add_argument("--dir", required=True, metavar="DIR")
+    fstatus.add_argument("--json", action="store_true",
+                         help="machine-readable status on stdout")
 
     fworkers = fleet_sub.add_parser(
         "workers", help="per-worker liveness and progress")
     fworkers.add_argument("--dir", required=True, metavar="DIR")
+
+    ftop = fleet_sub.add_parser(
+        "top", help="live mission-control view of a fleet directory")
+    ftop.add_argument("--dir", required=True, metavar="DIR")
+    ftop.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                      help="refresh period (default 2)")
+    ftop.add_argument("--iterations", type=int, default=0, metavar="N",
+                      help="stop after N refreshes (default 0: run until"
+                      " the fleet drains or Ctrl-C)")
+    ftop.add_argument("--no-clear", action="store_true",
+                      help="append refreshes instead of clearing the"
+                      " screen (log-friendly)")
+
+    frep = fleet_sub.add_parser(
+        "report", help="render a fleet's mission-control dashboard as HTML")
+    frep.add_argument("dir", metavar="DIR",
+                      help="fleet directory (live or finished)")
+    frep.add_argument("--html", metavar="FILE", default=None,
+                      help="write the dashboard here (default:"
+                      " DIR/report.html)")
 
     # internal: the subprocess entry point `run_fleet` spawns
     fworker = fleet_sub.add_parser("worker")
@@ -242,9 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default $REPRO_CACHE_DIR"
                        " or ~/.cache/repro)")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
-    cache_sub.add_parser("stats", help="entry count, size, session"
-                         " counters, per-scheme breakdown, quarantined"
-                         " corrupt entries, index staleness")
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, size, session counters, per-scheme"
+        " breakdown, quarantined corrupt entries, index staleness")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="machine-readable stats on stdout")
     cache_sub.add_parser("clear", help="delete every cached result")
     cache_gc = cache_sub.add_parser(
         "gc", help="evict least-recently-used entries down to a size cap,"
@@ -402,6 +439,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.spans:
         config = config.with_(spans=True)
+    # Run aggregates (events, flows, wall) for the metrics files; the
+    # flag is cache-neutral (NON_SEMANTIC_FIELDS), so hits still hit.
+    config = config.with_(metrics=True)
 
     cache = _cache_from_args(args)
     if cache is not None and (args.trace or args.record or args.spans):
@@ -461,6 +501,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         print("wrote", write_metrics_json(
             args.json, [metrics], manifest=manifest))
+    if args.csv or args.json:
+        _write_metrics_beside(args.csv, args.json)
     return 0
 
 
@@ -509,7 +551,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             extra_columns=[{"load": l, "swept_scheme": s} for (s, l), _ in ok],
             manifest=manifest)
         print("wrote", path)
+        _write_metrics_beside(args.csv)
     return 1 if failed and not ok else 0
+
+
+def _json_safe(obj):
+    """Replace non-finite floats (lease/heartbeat ages can be inf)."""
+    import math
+
+    if isinstance(obj, dict):
+        return {k: _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    return obj
+
+
+def _write_metrics_beside(*export_paths: Optional[str]) -> None:
+    """Drop metrics.prom + metrics.json next to each export (and its
+    manifest) — Prometheus textfiles plus the deterministic dump."""
+    from pathlib import Path
+
+    from repro.obs.metrics import get_registry
+
+    seen = set()
+    for export in export_paths:
+        if not export:
+            continue
+        directory = Path(export).resolve().parent
+        if directory in seen:
+            continue
+        seen.add(directory)
+        for path in get_registry().write_files(directory):
+            print("wrote", path)
+
+
+def _cmd_fleet_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fleet.observer import FleetObserver, format_top
+
+    observer = FleetObserver(args.dir)
+    refreshes = 0
+    try:
+        while True:
+            view = observer.refresh()
+            if not view.header:
+                print(f"no fleet journal in {args.dir}", file=sys.stderr)
+                return 1
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(format_top(view), flush=True)
+            refreshes += 1
+            drained = (view.counts.get("total", 0) > 0
+                       and view.counts.get("pending", 0) == 0)
+            if args.iterations and refreshes >= args.iterations:
+                break
+            if drained and not args.iterations:
+                print("fleet drained", flush=True)
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fleet import journal as jn
+    from repro.fleet.observer import (
+        FleetObserver, fleet_metrics, write_fleet_report)
+
+    paths = jn.FleetPaths(Path(args.dir))
+    records = jn.read_records(paths.journal)
+    if not records:
+        print(f"no fleet journal in {args.dir}", file=sys.stderr)
+        return 1
+    out = args.html or str(paths.root / "report.html")
+    print("wrote", write_fleet_report(args.dir, out,
+                                      observer=FleetObserver(args.dir)))
+    for path in fleet_metrics(records).write_files(paths.root):
+        print("wrote", path)
+    return 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -518,6 +643,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
         return fleet_worker_main(args.dir, worker_name=args.worker_id,
                                  cache_dir=args.cache_dir, poll=args.poll)
+    if args.fleet_command == "top":
+        return _cmd_fleet_top(args)
+    if args.fleet_command == "report":
+        return _cmd_fleet_report(args)
     if args.fleet_command in ("status", "workers"):
         from repro.fleet import fleet_status
         from repro.obs.progress import (
@@ -527,6 +656,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         if not status["header"]:
             print(f"no fleet journal in {args.dir}", file=sys.stderr)
             return 1
+        if args.fleet_command == "status" and args.json:
+            import json
+
+            print(json.dumps(_json_safe(status), indent=2, sort_keys=True))
+            return 0
         if args.fleet_command == "workers":
             lines = format_fleet_workers(status)
             if not lines:
@@ -630,6 +764,17 @@ def _emit_fleet_result(args: argparse.Namespace, result) -> int:
                            for (s, l), _ in ok],
             manifest=manifest)
         print("wrote", path)
+        # Fleet metrics fold the journal (not this process's registry),
+        # so subprocess workers' activity is fully accounted.
+        from pathlib import Path
+
+        from repro.fleet import journal as jn
+        from repro.fleet.observer import fleet_metrics
+
+        records = jn.read_records(jn.FleetPaths(Path(args.dir)).journal)
+        for mpath in fleet_metrics(records).write_files(
+                Path(args.csv).resolve().parent):
+            print("wrote", mpath)
     return 1 if failed and not ok else 0
 
 
@@ -812,7 +957,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     cache = ResultCache(args.cache_dir)
     if args.cache_command == "stats":
-        print(cache.stats().summary())
+        stats = cache.stats()
+        if args.json:
+            import json
+
+            print(json.dumps(_json_safe(stats.to_dict()),
+                             indent=2, sort_keys=True))
+        else:
+            print(stats.summary())
         return 0
     if args.cache_command == "clear":
         removed = cache.clear()

@@ -13,6 +13,7 @@ between, capped by ``config.horizon``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
@@ -125,6 +126,10 @@ class ScenarioConfig:
     #: attribute kernel wall time to handler components
     #: (:mod:`repro.obs.profiler`); observability-only, cache-neutral
     profile: bool = False
+    #: emit run aggregates (kernel event throughput, flow counts, wall
+    #: time) into the process metrics registry
+    #: (:mod:`repro.obs.metrics`); observability-only, cache-neutral
+    metrics: bool = False
     short_threshold: int = KB(100)
 
     def __post_init__(self) -> None:
@@ -346,10 +351,12 @@ def run_scenario(
     pending = {f.id for f in workload.flows}
     done_ids: set[int] = set()
     registry.subscribe_completion(lambda s: done_ids.add(s.flow.id))
+    wall0 = time.perf_counter()
     t = 0.0
     while t < config.horizon and len(done_ids) < len(pending):
         t = min(t + config.slice_width, config.horizon)
         sim.run(until=t)
+    wall = time.perf_counter() - wall0
     if telemetry is not None:
         telemetry.stop()
 
@@ -374,6 +381,27 @@ def run_scenario(
     if spans is not None:
         spans.finalize(horizon=sim.now)
         metrics.extras["spans"] = spans.extras()
+    if config.metrics:
+        # Aggregate counts only, emitted once per run — the kernel hot
+        # loop stays uninstrumented.  Wall time is volatile by nature
+        # and flagged so, keeping metrics.json byte-comparable.
+        from repro.obs.metrics import get_registry
+
+        reg = get_registry()
+        reg.counter("repro_sim_runs_total",
+                    "Completed simulation runs.").inc(scheme=config.scheme)
+        reg.counter("repro_sim_events_total",
+                    "Kernel events processed, summed per run."
+                    ).inc(sim.events_processed, scheme=config.scheme)
+        reg.counter("repro_sim_flows_total",
+                    "Flows installed by the workload."
+                    ).inc(len(pending), scheme=config.scheme)
+        reg.counter("repro_sim_flows_completed_total",
+                    "Flows that delivered all data within the horizon."
+                    ).inc(len(done_ids), scheme=config.scheme)
+        reg.histogram("repro_sim_wall_seconds",
+                      "Wall-clock time of the event loop per run.",
+                      volatile=True).observe(wall, scheme=config.scheme)
     tracer.flush()
     return ScenarioResult(
         config=config,

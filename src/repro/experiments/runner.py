@@ -83,6 +83,7 @@ from repro.errors import ConfigError
 from repro.experiments.common import ScenarioConfig, run_scenario_metrics
 from repro.fleet.taxonomy import is_fatal
 from repro.metrics.collector import RunMetrics
+from repro.obs.metrics import get_registry
 from repro.obs.progress import ProgressReporter
 
 __all__ = ["TaskFailure", "TaskError", "run_many", "sweep", "partition_results"]
@@ -196,6 +197,7 @@ def _run_serial_task(
             return runner(config)
         except Exception as exc:
             if attempt <= retries and not is_fatal(exc):
+                _retry_scheduled()
                 continue
             if on_error == "raise":
                 raise
@@ -203,14 +205,29 @@ def _run_serial_task(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _task_done(kind: str) -> None:
+    """Count one finished task in the process metrics registry."""
+    get_registry().counter(
+        "repro_runner_tasks_total",
+        "Sweep tasks finished, by outcome.").inc(kind=kind)
+
+
+def _retry_scheduled() -> None:
+    get_registry().counter(
+        "repro_runner_retries_total",
+        "Task attempts re-submitted after a retryable failure.").inc()
+
+
 def _record(reporter: Optional[ProgressReporter], cache, config, result):
     """Book-keeping for one finished task: progress kind + write-back."""
     if isinstance(result, TaskFailure):
+        _task_done("failed")
         if reporter is not None:
             reporter.task_done(kind="failed")
         return result
     if cache is not None:
         cache.put(config, result)
+    _task_done("computed")
     if reporter is not None:
         reporter.task_done(kind="computed")
     return result
@@ -302,6 +319,7 @@ def run_many(
             hit = cache.get(config)
             if hit is not None:
                 results[i] = hit
+                _task_done("cached")
                 if reporter is not None:
                     reporter.task_done(kind="cached")
             else:
@@ -442,6 +460,7 @@ def _run_pool(
         """Retry or record one failed chunk item; True if rescheduled."""
         if attempts[idx] <= retries and not fatal:
             attempts[idx] += 1
+            _retry_scheduled()
             submit_single(idx)
             return True
         if on_error == "raise":
@@ -481,6 +500,7 @@ def _run_pool(
                     for idx in idxs:
                         if attempts[idx] <= retries and not is_fatal(exc):
                             attempts[idx] += 1
+                            _retry_scheduled()
                             submit_single(idx)
                             continue
                         if on_error == "raise":
@@ -511,6 +531,10 @@ def _run_pool(
                 started.pop(fut, None)
                 fut.cancel()  # running futures ignore this; slot is lost
                 any_timeout = True
+                get_registry().counter(
+                    "repro_runner_timeouts_total",
+                    "Submitted units that exceeded the per-task timeout.",
+                    volatile=True).inc()
                 if len(idxs) > 1:
                     # A multi-task chunk timed out as a unit, but at most
                     # one of its tasks need be hung: resubmit each as its
@@ -522,6 +546,7 @@ def _run_pool(
                 for idx in idxs:
                     if attempts[idx] <= retries:
                         attempts[idx] += 1
+                        _retry_scheduled()
                         submit_single(idx)
                         continue
                     timeout_exc = TimeoutError(

@@ -160,7 +160,12 @@ def fleet_status(fleet_dir: str | Path,
     for path in paths.worker_files():
         info = ln.read_lease(path) or {}
         heartbeat = float(info.get("heartbeat") or 0.0)
-        age = now - heartbeat if heartbeat else float("inf")
+        # A skewed writer clock can put the heartbeat in our future;
+        # clamp rather than report a negative age.  One-shot snapshots
+        # can only judge by wall age — the FleetObserver refines this
+        # with the status file's monotonic ``uptime`` across refreshes.
+        age = max(0.0, now - heartbeat) if heartbeat else float("inf")
+        uptime = info.get("uptime")
         workers.append({
             "worker": info.get("worker", path.stem),
             "pid": info.get("pid"),
@@ -170,6 +175,8 @@ def fleet_status(fleet_dir: str | Path,
             "done": int(info.get("done") or 0),
             "failed": int(info.get("failed") or 0),
             "age": age,
+            "uptime": float(uptime) if uptime is not None else None,
+            "beats": int(info.get("beats") or 0),
             "live": age <= ttl and info.get("state") not in
             ("drained", "done"),
         })
@@ -289,7 +296,18 @@ def run_fleet(
                 max_reclaims=max_reclaims, backoff_base=backoff_base,
                 poll=poll, clock=clock, on_status=on_status,
                 status_interval=status_interval, inline_runner=inline_runner)
-    return _collect(paths, cache, inline_runner, pre_done=pre_done)
+    result = _collect(paths, cache, inline_runner, pre_done=pre_done)
+    # Mission control: metrics.prom + metrics.json beside the journal.
+    # Folded from the journal, so the non-volatile document is a pure
+    # function of what the fleet did — byte-identical across seeded
+    # re-runs over fresh state.
+    try:
+        from repro.fleet.observer import fleet_metrics
+
+        fleet_metrics(jn.read_records(paths.journal)).write_files(paths.root)
+    except OSError:
+        pass  # metrics files are advisory; never fail a finished sweep
+    return result
 
 
 def _run_subprocess_fleet(paths, cache, n_workers, *, lease_ttl, max_attempts,

@@ -197,10 +197,27 @@ def append_record(path: Path, record: dict) -> None:
 
     Lifecycle records are rare (a handful per cell), so the fsync cost
     is irrelevant next to the simulation time it protects.
+
+    Self-healing after a torn tail: if the last byte on disk is not a
+    newline (a writer died mid-append), the new record is written on a
+    fresh line instead of gluing onto the fragment — the torn record
+    stays lost (safe: the fold treats it as still-pending) but this
+    record, and every one after it, survives.  The probe races benignly
+    with concurrent appenders: the worst case is an extra blank line,
+    which ``read_records`` skips.
     """
     line = (json.dumps(record, sort_keys=True) + "\n").encode()
     fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
     try:
+        try:
+            with open(path, "rb") as probe:
+                probe.seek(0, os.SEEK_END)
+                if probe.tell() > 0:
+                    probe.seek(-1, os.SEEK_END)
+                    if probe.read(1) != b"\n":
+                        line = b"\n" + line
+        except OSError:  # pragma: no cover - probe is best-effort
+            pass
         os.write(fd, line)
         os.fsync(fd)
     finally:

@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.fleet import journal as jn
 from repro.fleet import lease as ln
+from repro.obs.metrics import get_registry
 
 __all__ = ["Watchdog", "backoff_delay"]
 
@@ -95,5 +96,9 @@ class Watchdog:
                 record["terminal"] = True
                 record["fatal"] = False
             jn.append_record(self.paths.journal, record)
+            get_registry().counter(
+                "repro_fleet_reclaims_total",
+                "Stale leases reclaimed, by finality.").inc(
+                    terminal="true" if terminal else "false")
             reclaimed.append(cell_key)
         return reclaimed

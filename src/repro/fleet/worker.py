@@ -51,6 +51,7 @@ from repro.fleet import journal as jn
 from repro.fleet import lease as ln
 from repro.fleet.taxonomy import is_fatal
 from repro.fleet.watchdog import Watchdog, backoff_delay
+from repro.obs.metrics import get_registry
 
 __all__ = ["FleetWorker", "worker_id"]
 
@@ -147,8 +148,17 @@ class FleetWorker:
         self.done_count = 0
         self.failed_count = 0
         self._current_cell = ""
+        # Monotonic birth time: the status file's ``uptime`` delta is
+        # what observers judge liveness by (immune to wall-clock skew
+        # between hosts sharing the fleet directory over NFS).
+        self._mono0 = time.monotonic()
+        self._beats = 0
+        self._metrics = get_registry()
         if install_signals:
             self.install_signal_handlers()
+
+    def _count(self, name: str, help: str, **labels) -> None:
+        self._metrics.counter(name, help).inc(**labels)
 
     # -- signals -----------------------------------------------------------
 
@@ -170,11 +180,18 @@ class FleetWorker:
 
     def _write_status(self, state: str) -> None:
         path = self.paths.workers / f"{self.name}.json"
+        self._beats += 1
         payload = {
             "worker": self.name,
             "pid": os.getpid(),
             "host": socket.gethostname(),
             "heartbeat": self.clock(),
+            # Seconds since worker start on *this worker's* monotonic
+            # clock: observers detect staleness by this value failing to
+            # advance across their own monotonic interval, so NFS mtime
+            # granularity and cross-host wall-clock skew never matter.
+            "uptime": round(time.monotonic() - self._mono0, 6),
+            "beats": self._beats,
             "state": state,
             "cell": self._current_cell,
             "done": self.done_count,
@@ -195,22 +212,35 @@ class FleetWorker:
     def _journal(self, record: dict) -> None:
         jn.append_record(self.paths.journal, record)
 
+    def _beat(self, lease: ln.Lease) -> None:
+        """One heartbeat: renew the lease, note the outcome, rewrite status."""
+        renewed = ln.renew(lease)
+        self._count("repro_fleet_lease_renewals_total",
+                    "Lease heartbeat renewals, by outcome.",
+                    result="ok" if renewed else "lost")
+        self._write_status("running")
+
     def _run_cell(self, cell: jn.CellState, lease: ln.Lease) -> None:
         """Run one claimed cell end to end; always releases the lease."""
         self._current_cell = cell.key
-        heartbeat = _Heartbeat(self.heartbeat_interval, lambda: (
-            ln.renew(lease), self._write_status("running")))
+        heartbeat = _Heartbeat(self.heartbeat_interval,
+                               lambda: self._beat(lease))
         try:
             config = jn.config_from_json(
                 jn.resolve_callable(self.header["config_type"]), cell.config)
             self._journal({"kind": "claim", "cell": cell.key,
                            "worker": self.name, "t": self.clock()})
+            self._count("repro_fleet_claims_total",
+                        "Cells claimed by this worker.")
             # Another fleet (or a crashed worker that cached before its
             # ``done`` record) may have computed this cell already.
             if self.cache.get(config) is not None:
                 self._journal({"kind": "done", "cell": cell.key,
                                "worker": self.name, "t": self.clock(),
                                "from_cache": True})
+                self._count("repro_fleet_done_total",
+                            "Cells finished by this worker.",
+                            from_cache="true")
                 self.done_count += 1
                 return
             heartbeat.start()
@@ -224,6 +254,12 @@ class FleetWorker:
             self._journal({"kind": "done", "cell": cell.key,
                            "worker": self.name, "t": self.clock(),
                            "elapsed": self.clock() - t0})
+            self._count("repro_fleet_done_total",
+                        "Cells finished by this worker.", from_cache="false")
+            self._metrics.histogram(
+                "repro_fleet_cell_seconds",
+                "Wall-clock runtime of computed cells.",
+                volatile=True).observe(self.clock() - t0)
             self.done_count += 1
         finally:
             if heartbeat.is_alive():
@@ -253,6 +289,9 @@ class FleetWorker:
             record["terminal"] = True
             self.failed_count += 1
         self._journal(record)
+        self._count("repro_fleet_errors_total",
+                    "Cell attempts that raised, by finality.",
+                    terminal="true" if terminal else "false")
 
     # -- the loop ----------------------------------------------------------
 
@@ -296,6 +335,8 @@ class FleetWorker:
                 self._journal({"kind": "drain", "worker": self.name,
                                "signal": self.drain_signal or "drain",
                                "t": self.clock()})
+                self._count("repro_fleet_drains_total",
+                            "Graceful worker drains.")
             self._write_status("drained" if self.draining else "done")
         return self.done_count
 

@@ -27,11 +27,25 @@ and makes whole runs self-describing:
   forensics with deterministic tail sampling (``repro run --spans``,
   ``repro explain``);
 * :class:`EngineProfiler` — kernel self-profiling: per-handler event
-  counts and sampled wall time (``repro bench --profile``).
+  counts and sampled wall time (``repro bench --profile``);
+* :class:`MetricsRegistry` — dependency-free Counter/Gauge/Histogram
+  registry with Prometheus textfile exposition and deterministic
+  canonical-JSON dumps (``metrics.prom`` / ``metrics.json`` beside
+  every export).
 """
 
 from repro.obs.diff import MetricDelta, diff_paths, diff_rows, format_diff, load_rows
 from repro.obs.manifest import MANIFEST_NAME, build_manifest, git_sha, write_manifest
+from repro.obs.metrics import (
+    METRICS_JSON_NAME,
+    METRICS_PROM_NAME,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    parse_prom,
+)
 from repro.obs.profiler import EngineProfiler
 from repro.obs.progress import (
     ProgressReporter,
@@ -55,6 +69,14 @@ __all__ = [
     "EngineProfiler",
     "RunTelemetry",
     "MANIFEST_NAME",
+    "METRICS_JSON_NAME",
+    "METRICS_PROM_NAME",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "parse_prom",
     "build_manifest",
     "git_sha",
     "write_manifest",

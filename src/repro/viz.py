@@ -25,7 +25,7 @@ import numpy as np
 
 __all__ = ["sparkline", "hbar_chart", "cdf_plot",
            "VIZ_SERIES_COLORS", "svg_line_chart", "svg_heatmap",
-           "svg_bar_chart"]
+           "svg_bar_chart", "svg_swimlane"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -339,6 +339,74 @@ def svg_heatmap(
                f'text-anchor="end">0</text>')
     out.append(f'<text x="{lx + len(_SEQ_RAMP) * 8 + 4}" y="18" {_FONT} '
                f'font-size="9" fill="{_MUTED}">{_fmt(vmax)}</text>')
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def svg_swimlane(
+    lanes: Sequence[tuple[str, Sequence[tuple[float, float, int, str]]]],
+    *,
+    x_lo: float | None = None,
+    x_hi: float | None = None,
+    width: int = 720,
+    lane_h: int = 22,
+    title: str = "",
+    x_label: str = "time (s)",
+) -> str:
+    """Horizontal activity lanes (one row per worker/resource).
+
+    ``lanes`` is ``[(label, [(t0, t1, color_slot, tooltip), ...]), ...]``;
+    each segment renders as a bar from ``t0`` to ``t1`` in the
+    categorical colour at ``color_slot``, with the tooltip as its
+    ``<title>``.  The x range defaults to the min/max over every
+    segment.  The root SVG carries ``class="viz-swimlane"`` so hosts
+    (and the CI smoke job) can find it.
+    """
+    ml, mt, mb = 120, 30, 40
+    pw = width - ml - 14
+    height = mt + max(1, len(lanes)) * lane_h + mb
+    spans = [(t0, t1) for _, segs in lanes for t0, t1, _, _ in segs]
+    if x_lo is None:
+        x_lo = min((t0 for t0, _ in spans), default=0.0)
+    if x_hi is None:
+        x_hi = max((t1 for _, t1 in spans), default=1.0)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    def sx(x: float) -> float:
+        return ml + (x - x_lo) / (x_hi - x_lo) * pw
+
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" class="viz-swimlane" '
+           f'viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+           f'role="img" aria-label="{_esc(title)}">']
+    if title:
+        out.append(f'<text x="{ml}" y="18" {_FONT} font-size="13" font-weight="600" '
+                   f'fill="{_INK}">{_esc(title)}</text>')
+    for r, (label, segs) in enumerate(lanes):
+        y = mt + r * lane_h
+        out.append(f'<line x1="{ml}" y1="{y + lane_h - 1}" x2="{ml + pw}" '
+                   f'y2="{y + lane_h - 1}" stroke="{_GRID}" stroke-width="1"/>')
+        out.append(f'<text x="{ml - 6}" y="{y + lane_h / 2 + 3:.1f}" {_FONT} '
+                   f'font-size="10" fill="{_MUTED}" text-anchor="end">'
+                   f'{_esc(label)}</text>')
+        for t0, t1, slot, tooltip in segs:
+            x0, x1 = sx(max(t0, x_lo)), sx(min(t1, x_hi))
+            w = max(1.5, x1 - x0)
+            color = VIZ_SERIES_COLORS[slot % len(VIZ_SERIES_COLORS)]
+            out.append(
+                f'<rect x="{x0:.2f}" y="{y + 3}" width="{w:.2f}" '
+                f'height="{lane_h - 7}" rx="2" fill="{color}">'
+                f'<title>{_esc(tooltip)}</title></rect>')
+    for i in range(5):
+        x = x_lo + (x_hi - x_lo) * i / 4
+        px = ml + pw * i / 4
+        out.append(f'<text x="{px:.1f}" y="{mt + len(lanes) * lane_h + 14}" '
+                   f'{_FONT} font-size="10" fill="{_MUTED}" '
+                   f'text-anchor="middle">{_fmt(x)}</text>')
+    if x_label:
+        out.append(f'<text x="{ml + pw / 2:.1f}" y="{height - 8}" {_FONT} '
+                   f'font-size="11" fill="{_MUTED}" text-anchor="middle">'
+                   f'{_esc(x_label)}</text>')
     out.append("</svg>")
     return "\n".join(out)
 

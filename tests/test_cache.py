@@ -61,9 +61,37 @@ def test_semantic_field_change_misses(change):
     {"bin_width": 0.5},
     {"spans": True},
     {"profile": True},
+    {"metrics": True},
 ])
 def test_non_semantic_knobs_still_hit(change):
     assert config_digest(BASE.with_(**change)) == config_digest(BASE)
+
+
+def test_metrics_emission_does_not_break_cache_hits(tmp_path):
+    """A result stored without --metrics is served to a metrics-enabled
+    rerun (and vice versa): the metrics.* outputs are observability,
+    never part of the keyed experiment."""
+    cache = make_cache(tmp_path)
+    cache.put(BASE, {"value": 42})
+    assert cache.get(BASE.with_(metrics=True)) == {"value": 42}
+    cache.put(BASE.with_(metrics=True, seed=9), {"value": 43})
+    assert cache.get(BASE.with_(seed=9)) == {"value": 43}
+    assert cache.hits == 2 and cache.misses == 0
+
+
+def test_cache_instruments_injected_registry(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    cache = ResultCache(tmp_path / "cache", fingerprint=FP, metrics=reg)
+    cache.get(BASE)  # miss
+    cache.put(BASE, {"v": 1})
+    cache.get(BASE)  # hit
+    lookups = reg.counter("repro_cache_lookups_total")
+    assert lookups.value(result="miss") == 1
+    assert lookups.value(result="hit") == 1
+    assert reg.counter("repro_cache_puts_total").total() == 1
+    assert reg.counter("repro_cache_put_bytes_total").total() > 0
 
 
 def test_non_semantic_fields_all_exist_on_scenario_config():

@@ -443,3 +443,132 @@ def test_bench_profile_and_spans_smoke_flags_parse():
     args = build_parser().parse_args(
         ["bench", "--spans-smoke", "--max-overhead-pct", "25"])
     assert args.spans_smoke and args.max_overhead_pct == 25.0
+
+
+# -- observability: metrics files + mission control -------------------------
+
+def _fresh_registry():
+    """The CLI exposes the process-wide registry; each real invocation
+    is a fresh process, so in-process tests reset it explicitly."""
+    from repro.obs.metrics import get_registry
+
+    get_registry().reset()
+    return get_registry()
+
+
+def test_run_writes_metrics_files_beside_export(capsys, tmp_path):
+    import json
+
+    from repro.obs.metrics import parse_prom
+
+    _fresh_registry()
+    out = tmp_path / "out"
+    assert main(["run", "--scheme", "ecmp", "--short-flows", "6",
+                 "--long-flows", "1", "--paths", "4",
+                 "--json", str(out / "run.json")]) == 0
+    stdout = capsys.readouterr().out
+    assert "metrics.prom" in stdout and "metrics.json" in stdout
+    samples = parse_prom((out / "metrics.prom").read_text())
+    assert samples["repro_sim_runs_total"][(("scheme", "ecmp"),)] == 1
+    assert samples["repro_sim_flows_total"][(("scheme", "ecmp"),)] == 7
+    doc = json.loads((out / "metrics.json").read_text())
+    assert doc["metrics"]["repro_sim_events_total"]["samples"][0][
+        "labels"] == {"scheme": "ecmp"}
+    # wall-clock timing is volatile: prom yes, canonical JSON no
+    assert "repro_sim_wall_seconds" in samples or any(
+        k.startswith("repro_sim_wall_seconds") for k in samples)
+    assert "repro_sim_wall_seconds" not in doc["metrics"]
+
+
+def test_run_metrics_json_byte_identical_across_seeded_runs(capsys, tmp_path):
+    blobs = []
+    for tag in ("a", "b"):
+        _fresh_registry()
+        out = tmp_path / tag
+        assert main(["run", "--scheme", "ecmp", "--short-flows", "6",
+                     "--long-flows", "1", "--paths", "4", "--seed", "3",
+                     "--json", str(out / "run.json")]) == 0
+        capsys.readouterr()
+        blobs.append((out / "metrics.json").read_bytes())
+    assert blobs[0] == blobs[1]
+
+
+def _inline_fleet(tmp_path):
+    from fleet_helpers import Cell, compute
+    from repro.cache import ResultCache
+    from repro.fleet import run_fleet
+
+    cells = [Cell(tag=f"c{i}") for i in range(3)]
+    cache = ResultCache(tmp_path / "cache", fingerprint="0" * 64)
+    fleet_dir = tmp_path / "fleet"
+    run_fleet(cells, fleet_dir=fleet_dir, cache=cache, workers=0,
+              runner=compute, lease_ttl=5.0)
+    return fleet_dir
+
+
+def test_fleet_top_single_refresh(capsys, tmp_path):
+    fleet_dir = _inline_fleet(tmp_path)
+    assert main(["fleet", "top", "--dir", str(fleet_dir),
+                 "--iterations", "1", "--no-clear"]) == 0
+    out = capsys.readouterr().out
+    assert "cells: 3/3 done" in out
+    assert "workers:" in out
+
+
+def test_fleet_top_missing_journal(capsys, tmp_path):
+    assert main(["fleet", "top", "--dir", str(tmp_path / "nope"),
+                 "--iterations", "1", "--no-clear"]) == 1
+    assert "no fleet journal" in capsys.readouterr().err
+
+
+def test_fleet_report_html_dashboard(capsys, tmp_path):
+    fleet_dir = _inline_fleet(tmp_path)
+    html_path = tmp_path / "dash" / "fleet.html"
+    assert main(["fleet", "report", str(fleet_dir),
+                 "--html", str(html_path)]) == 0
+    html = html_path.read_text()
+    assert 'class="viz-swimlane"' in html
+    assert 'id="panel-latency"' in html
+    # metrics files land in the fleet directory too
+    assert (fleet_dir / "metrics.prom").exists()
+    assert (fleet_dir / "metrics.json").exists()
+
+
+def test_fleet_status_json(capsys, tmp_path):
+    import json
+
+    fleet_dir = _inline_fleet(tmp_path)
+    assert main(["fleet", "status", "--dir", str(fleet_dir), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["cells"]["done"] == 3 and doc["cells"]["pending"] == 0
+    assert isinstance(doc["workers"], list)
+    for w in doc["workers"]:  # inf ages must have been sanitised
+        assert w["age"] is None or isinstance(w["age"], (int, float))
+
+
+def test_cache_stats_json(capsys, tmp_path):
+    import json
+
+    from repro.cache import ResultCache
+    from repro.experiments.common import ScenarioConfig
+
+    root = tmp_path / "cache"
+    cache = ResultCache(root, fingerprint="0" * 64)
+    cache.put(ScenarioConfig(seed=1), {"seed": 1})
+    assert main(["cache", "--cache-dir", str(root), "stats", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["entries"] == 1
+    assert doc["by_scheme"] == {"tlb": 1}
+
+
+def test_mission_control_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(["fleet", "top", "--dir", "d",
+                              "--interval", "0.5", "--iterations", "3"])
+    assert args.interval == 0.5 and args.iterations == 3 and not args.no_clear
+    args = parser.parse_args(["fleet", "report", "d", "--html", "x.html"])
+    assert args.dir == "d" and args.html == "x.html"
+    args = parser.parse_args(["fleet", "status", "--dir", "d", "--json"])
+    assert args.json
+    args = parser.parse_args(["cache", "stats", "--json"])
+    assert args.json
