@@ -74,20 +74,44 @@ def _canon(value: Any) -> Any:
     return repr(value)
 
 
+def _canon_workload(spec: str) -> str:
+    """Canonicalise the workload axis via the scenario registry.
+
+    Scenario specs reduce to their canonical form (alias == expansion,
+    parameter order irrelevant) plus the content fingerprint of any
+    trace file they read, so editing a CDF file invalidates exactly its
+    own cells.  Legacy values and unparseable strings pass through
+    verbatim (a config that cannot parse cannot have produced a cached
+    result either).
+    """
+    from repro.errors import ConfigError
+    from repro.workload.scenarios import canonical_workload
+
+    try:
+        return canonical_workload(spec)
+    except ConfigError:
+        return spec
+
+
 def canonical_config(config: Any) -> dict[str, Any]:
     """The semantic fields of a config, canonicalised for hashing.
 
     Works on any dataclass; fields named in :data:`NON_SEMANTIC_FIELDS`
-    are dropped.
+    are dropped.  A string ``workload`` field is additionally routed
+    through the scenario registry's canonical form (see
+    :func:`_canon_workload`).
     """
     if not (dataclasses.is_dataclass(config) and not isinstance(config, type)):
         raise TypeError(
             f"cache keys need a dataclass config, got {type(config).__name__}")
-    return {
+    out = {
         f.name: _canon(getattr(config, f.name))
         for f in dataclasses.fields(config)
         if f.name not in NON_SEMANTIC_FIELDS
     }
+    if isinstance(out.get("workload"), str):
+        out["workload"] = _canon_workload(out["workload"])
+    return out
 
 
 def config_digest(config: Any) -> str:

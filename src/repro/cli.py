@@ -4,6 +4,8 @@ Commands
 --------
 ``schemes``
     List registered load-balancing schemes.
+``workloads``
+    List workload scenario kinds (spec grammar) and aliases.
 ``run``
     Run one scenario and print its metrics (optionally export CSV/JSON,
     stream a JSONL trace with ``--trace``, profile with ``--telemetry``).
@@ -91,6 +93,9 @@ FIGURES = {
     "fig17": ("repro.experiments.asymmetry", "main", ("bandwidth",)),
     # beyond the paper: §7 asymmetry under dynamic mid-run failure
     "faults": ("repro.experiments.faults", "main", ()),
+    # beyond the paper: scheme × workload-scenario grid (repro.workload
+    # .scenarios specs; see `repro workloads` for the grammar)
+    "workloads": ("repro.experiments.workloads", "main", ()),
 }
 
 
@@ -124,10 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("schemes", help="list load-balancing schemes")
+    sub.add_parser("workloads",
+                   help="list workload scenario kinds and aliases")
 
     run = sub.add_parser("run", help="run one scenario")
     run.add_argument("--scheme", default="tlb")
-    run.add_argument("--workload", choices=("static", "poisson"), default="static")
+    run.add_argument("--workload", default="static", metavar="SPEC",
+                     help="'static', 'poisson', or a scenario spec such as"
+                     " 'zipf:s=1.2' or 'incast:fanin=40,period=10ms'"
+                     " (see `repro workloads`)")
     # poisson-only knobs default to None so we can tell "explicitly
     # passed" from "defaulted" and warn under --workload static.
     run.add_argument("--sizes", choices=("web_search", "data_mining"),
@@ -170,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--workload", action="append", metavar="SPEC",
+                     dest="workloads", default=None,
+                     help="scenario spec column for `figure workloads`"
+                     " (repeatable; default: built-in grid)")
+    fig.add_argument("--csv", default=None,
+                     help="CSV export for figures that support it"
+                     " (`figure workloads`)")
     _add_cache_args(fig)
 
     sw = sub.add_parser("sweep", help="load sweep across schemes, CSV out")
@@ -177,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--loads", nargs="+", type=float, default=[0.2, 0.5, 0.8])
     sw.add_argument("--sizes", choices=("web_search", "data_mining"),
                     default="web_search")
+    sw.add_argument("--workload", default=None, metavar="SPEC",
+                    help="workload scenario spec for every cell (default:"
+                    " poisson; see `repro workloads`)")
     sw.add_argument("--flows", type=int, default=100)
     sw.add_argument("--seed", type=int, default=1)
     sw.add_argument("--csv", help="write one row per (scheme, load)")
@@ -206,6 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[0.2, 0.5, 0.8])
     frun.add_argument("--sizes", choices=("web_search", "data_mining"),
                       default="web_search")
+    frun.add_argument("--workload", default=None, metavar="SPEC",
+                      help="workload scenario spec for every cell (default:"
+                      " poisson; see `repro workloads`)")
     frun.add_argument("--flows", type=int, default=100)
     frun.add_argument("--seed", type=int, default=1)
     frun.add_argument("--faults", metavar="SPEC", default="",
@@ -401,6 +424,21 @@ def _cmd_schemes() -> int:
     return 0
 
 
+def _cmd_workloads() -> int:
+    from repro.workload.scenarios import (
+        EXAMPLE_SPECS, SCENARIO_ALIASES, SCENARIO_KINDS)
+
+    print("scenario kinds (spec grammar: kind:key=value,key=value):")
+    for kind in sorted(SCENARIO_KINDS):
+        example = EXAMPLE_SPECS.get(kind)
+        suffix = f"  e.g. {example}" if example else ""
+        print(f"  {kind}{suffix}")
+    print("aliases:")
+    for alias, expansion in sorted(SCENARIO_ALIASES.items()):
+        print(f"  {alias} = {expansion}")
+    return 0
+
+
 #: poisson-only `run` flags and their effective defaults (kept as None in
 #: argparse so passing one under --workload static can be diagnosed).
 _POISSON_ONLY = {"load": 0.4, "sizes": "web_search", "flows": 150}
@@ -429,11 +467,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         filled = {name: default if getattr(args, name) is None
                   else getattr(args, name)
                   for name, default in _POISSON_ONLY.items()}
+        # Scenario specs (zipf:…, incast:…, mix:…) get a wider fabric so
+        # skew/fan-in shapes have room; plain poisson keeps its historic
+        # 2-leaf default (existing cache keys stay valid).
+        n_leaves = 2 if args.workload == "poisson" else 4
         config = ScenarioConfig(
-            scheme=args.scheme, seed=args.seed, workload="poisson",
+            scheme=args.scheme, seed=args.seed, workload=args.workload,
             sizes=filled["sizes"], load=filled["load"],
             n_flows=filled["flows"],
-            n_paths=4, hosts_per_leaf=16, truncate_tail=3_000_000,
+            n_paths=4, n_leaves=n_leaves, hosts_per_leaf=16,
+            truncate_tail=3_000_000,
             horizon=5.0, telemetry=args.telemetry, faults=args.faults,
             fault_detection_delay=args.fault_detection_delay)
 
@@ -513,6 +556,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.metrics.export import write_metrics_csv
 
     config = default_config(args.sizes, n_flows=args.flows, seed=args.seed)
+    if args.workload:
+        # Scenario grids need a multi-leaf fabric for cross-leaf skew.
+        config = config.with_(workload=args.workload, n_leaves=4,
+                              hosts_per_leaf=16)
     if args.faults:
         config = config.with_(faults=args.faults)
     cache = _cache_from_args(args)
@@ -701,6 +748,9 @@ def _cmd_fleet_run(args: argparse.Namespace, *, resume: bool) -> int:
 
         config = default_config(args.sizes, n_flows=args.flows,
                                 seed=args.seed)
+        if args.workload:
+            config = config.with_(workload=args.workload, n_leaves=4,
+                                  hosts_per_leaf=16)
         if args.faults:
             config = config.with_(faults=args.faults)
         configs = [config.with_(scheme=s, load=l)
@@ -936,6 +986,18 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     fn = getattr(module, fn_name)
     cache = _cache_from_args(args)
     kwargs = {}
+    params = inspect.signature(fn).parameters
+    for flag, attr, param in (("--workload", "workloads", "workloads"),
+                              ("--csv", "csv", "csv")):
+        value = getattr(args, attr, None)
+        if value is None:
+            continue
+        if param not in params:
+            print(f"warning: {flag} applies only to figures that accept"
+                  f" it (e.g. `figure workloads`); ignored",
+                  file=sys.stderr)
+            continue
+        kwargs[param] = value
     if cache is not None:
         if "cache" in inspect.signature(fn).parameters:
             kwargs["cache"] = cache
@@ -997,6 +1059,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "schemes":
         return _cmd_schemes()
+    if args.command == "workloads":
+        return _cmd_workloads()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "sweep":

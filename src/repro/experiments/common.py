@@ -30,20 +30,17 @@ from repro.transport.tcp import TcpConfig, TcpSender
 from repro.units import Gbps, KB, MB, microseconds
 from repro.workload.deadlines import UniformDeadlines
 from repro.workload.distributions import (
-    DATA_MINING,
-    WEB_SEARCH,
+    NAMED_DISTRIBUTIONS,
     FlowSizeDistribution,
-    PiecewiseCdf,
     UniformSize,
+    named_distribution,
 )
 from repro.workload.generator import PoissonWorkload, StaticWorkload, WorkloadResult
+from repro.workload.scenarios import LEGACY_WORKLOADS, parse_scenario
 
 __all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario", "run_scenario_metrics"]
 
-_SIZE_DISTRIBUTIONS = {
-    "web_search": WEB_SEARCH,
-    "data_mining": DATA_MINING,
-}
+_SIZE_DISTRIBUTIONS = NAMED_DISTRIBUTIONS
 
 _TRANSPORTS = {
     "dctcp": DctcpSender,
@@ -83,7 +80,9 @@ class ScenarioConfig:
     fault_detection_delay: float = 0.0
 
     # workload ------------------------------------------------------------
-    workload: str = "static"  # "static" | "poisson"
+    #: ``"static"`` | ``"poisson"`` | a :mod:`repro.workload.scenarios`
+    #: spec, e.g. ``"zipf:s=1.2"`` or ``"mix:tenantA@0.7+incast@0.3"``
+    workload: str = "static"
     # static:
     n_short: int = 100
     n_long: int = 3
@@ -133,11 +132,14 @@ class ScenarioConfig:
     short_threshold: int = KB(100)
 
     def __post_init__(self) -> None:
-        if self.workload not in ("static", "poisson"):
-            raise ConfigError(f"unknown workload {self.workload!r}")
+        if self.workload not in LEGACY_WORKLOADS:
+            # Parse eagerly (like the fault spec below) so a malformed
+            # scenario — or a missing CDF trace file — fails at config
+            # time, not inside a worker process half-way through a sweep.
+            parse_scenario(self.workload)
         if self.transport not in _TRANSPORTS:
             raise ConfigError(f"unknown transport {self.transport!r}")
-        if self.workload == "poisson" and self.sizes not in _SIZE_DISTRIBUTIONS:
+        if self.workload != "static" and self.sizes not in _SIZE_DISTRIBUTIONS:
             raise ConfigError(f"unknown size distribution {self.sizes!r}")
         if self.horizon <= 0 or self.slice_width <= 0:
             raise ConfigError("horizon and slice_width must be positive")
@@ -177,14 +179,7 @@ class ScenarioConfig:
         )
 
     def size_distribution(self) -> FlowSizeDistribution:
-        dist = _SIZE_DISTRIBUTIONS[self.sizes]
-        if self.truncate_tail is not None and isinstance(dist, PiecewiseCdf):
-            dist = PiecewiseCdf(
-                list(zip(dist.sizes.tolist(), dist.probs.tolist())),
-                name=f"{dist.name}_trunc",
-                truncate_at=self.truncate_tail,
-            )
-        return dist
+        return named_distribution(self.sizes, truncate_at=self.truncate_tail)
 
 
 @dataclass
@@ -247,7 +242,7 @@ def _install_workload(config: ScenarioConfig, net, registry) -> WorkloadResult:
             tcp_config=config.tcp_config(),
             distinct_hosts=config.distinct_hosts,
         )
-    else:
+    elif config.workload == "poisson":
         wl = PoissonWorkload(
             net, registry,
             sizes=config.size_distribution(),
@@ -257,6 +252,11 @@ def _install_workload(config: ScenarioConfig, net, registry) -> WorkloadResult:
             sender_cls=sender_cls,
             tcp_config=config.tcp_config(),
         )
+    else:
+        scenario = parse_scenario(config.workload)
+        return scenario.install(net, registry, config,
+                                sender_cls=sender_cls,
+                                tcp_config=config.tcp_config())
     return wl.install()
 
 

@@ -9,16 +9,32 @@ very traffic mix TLB exploits.
 :mod:`repro.workload.distributions` encodes them as piecewise-linear CDFs
 with vectorised inverse-transform sampling; :mod:`repro.workload.generator`
 turns a distribution plus a target load into scheduled flows on a built
-network; :mod:`repro.workload.deadlines` draws the short flows' deadlines.
+network; :mod:`repro.workload.deadlines` draws the short flows' deadlines;
+:mod:`repro.workload.scenarios` grows the vocabulary into a spec-string
+registry (empirical CDF files, Zipf popularity, incast fan-ins, diurnal
+curves, hotspots, multi-tenant mixes) addressable from
+``ScenarioConfig.workload`` and the result cache.
 """
 
 from repro.workload.distributions import (
     DATA_MINING,
+    NAMED_DISTRIBUTIONS,
     WEB_SEARCH,
     FixedSize,
     FlowSizeDistribution,
     PiecewiseCdf,
     UniformSize,
+    named_distribution,
+)
+from repro.workload.scenarios import (
+    SCENARIO_ALIASES,
+    SCENARIO_KINDS,
+    Scenario,
+    available_scenarios,
+    canonical_workload,
+    load_cdf_file,
+    parse_scenario,
+    register_scenario,
 )
 from repro.workload.deadlines import UniformDeadlines
 from repro.workload.generator import (
@@ -45,4 +61,14 @@ __all__ = [
     "TraceWorkload",
     "read_trace",
     "write_trace",
+    "NAMED_DISTRIBUTIONS",
+    "named_distribution",
+    "Scenario",
+    "SCENARIO_KINDS",
+    "SCENARIO_ALIASES",
+    "available_scenarios",
+    "canonical_workload",
+    "load_cdf_file",
+    "parse_scenario",
+    "register_scenario",
 ]

@@ -29,6 +29,8 @@ __all__ = [
     "FixedSize",
     "WEB_SEARCH",
     "DATA_MINING",
+    "NAMED_DISTRIBUTIONS",
+    "named_distribution",
 ]
 
 
@@ -100,21 +102,42 @@ class PiecewiseCdf(FlowSizeDistribution):
         return np.maximum(raw, 1.0).astype(np.int64)
 
     def mean(self) -> float:
-        sizes = self.sizes if self.truncate_at is None else np.minimum(
-            self.sizes, self.truncate_at)
         # Point mass at the minimum plus trapezoids over linear segments.
-        m = self.probs[0] * sizes[0]
         dp = np.diff(self.probs)
-        mids = (sizes[:-1] + sizes[1:]) / 2.0
-        return float(m + np.sum(dp * mids))
+        a, b = self.sizes[:-1], self.sizes[1:]
+        cap = self.truncate_at
+        if cap is None:
+            m = self.probs[0] * self.sizes[0]
+            return float(m + np.sum(dp * (a + b) / 2.0))
+        # Truncated mean E[min(X, cap)].  A segment straddling the cap
+        # contributes dp·[f·(a+cap)/2 + (1−f)·cap] with f = (cap−a)/(b−a):
+        # the fraction f of its mass averages (a+cap)/2, the rest is
+        # clamped to exactly cap.  Clipping the knot *positions* instead
+        # (the old code) under-weights the clamped mass and biases the
+        # mean low — which inflated PoissonWorkload.arrival_rate().
+        m = self.probs[0] * min(self.sizes[0], cap)
+        contrib = np.empty_like(dp)
+        below = b <= cap
+        above = a >= cap
+        straddle = ~below & ~above
+        contrib[below] = ((a + b) / 2.0)[below]
+        contrib[above] = cap
+        if np.any(straddle):
+            f = (cap - a[straddle]) / (b[straddle] - a[straddle])
+            contrib[straddle] = f * (a[straddle] + cap) / 2.0 + (1.0 - f) * cap
+        return float(m + np.sum(dp * contrib))
 
     def fraction_below(self, threshold: float) -> float:
-        t = float(threshold)
+        # Samples are floored to integer bytes (and capped at
+        # truncate_at), so P(sample <= t) = P(raw < floor(t)+1).
+        t = float(np.floor(threshold))
+        if self.truncate_at is not None and t >= self.truncate_at:
+            return 1.0
         if t < self.sizes[0]:
             return 0.0
         if t >= self.sizes[-1]:
             return 1.0
-        return float(np.interp(t, self.sizes, self.probs))
+        return float(np.interp(t + 1.0, self.sizes, self.probs))
 
 
 class UniformSize(FlowSizeDistribution):
@@ -135,11 +158,15 @@ class UniformSize(FlowSizeDistribution):
         return (self.lo + self.hi) / 2.0
 
     def fraction_below(self, threshold: float) -> float:
-        if threshold < self.lo:
+        # sample() draws inclusive integers on [lo, hi]; the share at or
+        # below t is the count of integers in [lo, floor(t)] over the
+        # hi−lo+1 possible values (not the continuous (t−lo)/(hi−lo)).
+        t = int(np.floor(threshold))
+        if t < self.lo:
             return 0.0
-        if threshold >= self.hi:
+        if t >= self.hi:
             return 1.0
-        return (threshold - self.lo) / (self.hi - self.lo)
+        return (t - self.lo + 1) / (self.hi - self.lo + 1)
 
 
 class FixedSize(FlowSizeDistribution):
@@ -180,6 +207,30 @@ WEB_SEARCH = PiecewiseCdf(
     name="web_search",
 )
 
+def named_distribution(
+    name: str, truncate_at: float | None = None
+) -> FlowSizeDistribution:
+    """Look up a built-in distribution by name, optionally tail-truncated.
+
+    The canonical resolution path for config/spec strings
+    (``"web_search"``, ``"data_mining"``); raises :class:`ConfigError`
+    on unknown names so callers fail at parse time, not mid-run.
+    """
+    try:
+        dist = NAMED_DISTRIBUTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_DISTRIBUTIONS))
+        raise ConfigError(
+            f"unknown size distribution {name!r}; known: {known}") from None
+    if truncate_at is not None:
+        dist = PiecewiseCdf(
+            list(zip(dist.sizes.tolist(), dist.probs.tolist())),
+            name=f"{dist.name}_trunc",
+            truncate_at=truncate_at,
+        )
+    return dist
+
+
 #: VL2 data-mining cluster flow sizes (bytes, CDF).
 DATA_MINING = PiecewiseCdf(
     [
@@ -199,3 +250,9 @@ DATA_MINING = PiecewiseCdf(
     ],
     name="data_mining",
 )
+
+#: name -> built-in distribution (the config/spec string vocabulary)
+NAMED_DISTRIBUTIONS: dict[str, FlowSizeDistribution] = {
+    "web_search": WEB_SEARCH,
+    "data_mining": DATA_MINING,
+}

@@ -43,6 +43,25 @@ class WorkloadResult:
     flows: list[Flow] = field(default_factory=list)
     senders: dict[int, TcpSender] = field(default_factory=dict)
 
+    def merge(self, other: "WorkloadResult") -> "WorkloadResult":
+        """Fold another generator's result into this one.
+
+        ``senders`` is keyed by flow id, so two generators composed with
+        overlapping ``flow_id_base`` ranges would silently drop senders
+        on a plain dict update; composition must allocate disjoint id
+        ranges, and any overlap here is a configuration bug.
+        """
+        overlap = self.senders.keys() & other.senders.keys()
+        if overlap:
+            shown = sorted(overlap)[:5]
+            raise ConfigError(
+                f"composed workloads reuse {len(overlap)} flow id(s)"
+                f" (e.g. {shown}); give each generator a disjoint"
+                " flow_id_base range")
+        self.flows.extend(other.flows)
+        self.senders.update(other.senders)
+        return self
+
     @property
     def n_flows(self) -> int:
         return len(self.flows)
@@ -72,6 +91,10 @@ def _schedule_flow(
     tcp_config: Optional[TcpConfig],
     result: WorkloadResult,
 ) -> None:
+    if flow.id in result.senders:
+        raise ConfigError(
+            f"duplicate flow id {flow.id} in one workload; generators"
+            " composed into one result need disjoint flow_id_base ranges")
     stats = registry.add(flow)
     sender = sender_cls(net.sim, net.hosts[flow.src], flow, stats, tcp_config)
     net.sim.schedule(flow.start_time, sender.start)

@@ -1,0 +1,929 @@
+"""Workload scenario registry: compact specs → installable workloads.
+
+The paper evaluates TLB under exactly two size CDFs and a plain Poisson
+pair process (§6.2).  Production fabrics see far richer shapes — skewed
+host popularity, partition–aggregate fan-ins, diurnal load curves,
+migrating hotspots, multi-tenant mixes — so this module gives every such
+shape a compact one-line spec (mirroring :class:`repro.faults.FaultSchedule`)
+and a registry that turns specs into deterministic, installable
+workloads.  A spec is a first-class sweep axis: it rides in
+``ScenarioConfig.workload``, canonicalises into the result-cache key
+(empirical CDF files are content-fingerprinted, so editing a trace file
+invalidates exactly its own cells), and appears as a ``repro figure
+workloads`` family.
+
+Spec format
+-----------
+``kind[:key=value[,key=value...]]``, e.g.::
+
+    cdf:file=traces/websearch.csv
+    zipf:s=1.2,load=0.5
+    incast:fanin=40,period=10ms
+    diurnal:peak=0.9,trough=0.2,period=1s
+    hotspot:leaves=2,dwell=200ms
+    mix:tenantA@0.7+incast@0.3
+
+==============  =========================================================
+kind            parameters (defaults in brackets)
+==============  =========================================================
+``poisson``     ``sizes`` [config], ``load`` [config], ``flows`` [config]
+``cdf``         ``file`` (size,cdf rows), ``load``, ``flows``
+``zipf``        ``s`` [1.2] host-popularity exponent, ``sizes``,
+                ``load``, ``flows``
+``incast``      ``fanin`` [16], ``period`` [10ms], ``size`` [32KB],
+                ``requests`` [flows // fanin], ``jitter`` [500us]
+``diurnal``     ``peak`` [0.8], ``trough`` [0.2], ``period`` [1s],
+                ``sizes``, ``flows``
+``hotspot``     ``leaves`` [1], ``dwell`` [200ms], ``bias`` [0.9],
+                ``sizes``, ``load``, ``flows``
+``mix``         ``NAME@WEIGHT+NAME@WEIGHT...`` over registered kinds or
+                aliases; flow budget split by weight, disjoint id ranges
+==============  =========================================================
+
+Times accept ``us``/``ms``/``s`` suffixes (bare numbers are seconds);
+sizes accept ``B``/``KB``/``MB`` (bare numbers are bytes).  Aliases
+(``websearch``, ``datamining``, ``tenantA``, ``tenantB``) expand to full
+specs and canonicalise identically, so an alias and its expansion share
+one cache cell.
+
+Every random quantity draws from named RNG streams of the network's
+registry, so a scenario installs byte-identically across schemes at the
+same seed (paired comparisons), and ``parse(spec).canonical()`` is a
+fixed point suitable for hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Type
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow, FlowRegistry
+from repro.units import KB
+from repro.workload.deadlines import UniformDeadlines
+from repro.workload.distributions import (
+    FlowSizeDistribution,
+    named_distribution,
+    PiecewiseCdf,
+)
+from repro.workload.generator import (
+    WorkloadResult,
+    _install_listeners,
+    _schedule_flow,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.topology import Network
+
+__all__ = [
+    "Scenario",
+    "SCENARIO_KINDS",
+    "SCENARIO_ALIASES",
+    "register_scenario",
+    "available_scenarios",
+    "parse_scenario",
+    "canonical_workload",
+    "load_cdf_file",
+    "EXAMPLE_SPECS",
+]
+
+#: ScenarioConfig.workload values handled by the legacy generator path
+#: (repro.workload.generator), not this registry.
+LEGACY_WORKLOADS = ("static", "poisson")
+
+
+# --- spec field parsing ----------------------------------------------------
+
+def _num(value: str, spec: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ConfigError(f"bad number {value!r} in workload spec {spec!r}") \
+            from None
+
+
+def _parse_time(value: str, spec: str) -> float:
+    """Parse ``10ms`` / ``200us`` / ``1s`` / bare seconds."""
+    v = value.strip()
+    for suffix, scale in (("us", 1e-6), ("ms", 1e-3), ("s", 1.0)):
+        if v.endswith(suffix):
+            return _num(v[: -len(suffix)], spec) * scale
+    return _num(v, spec)
+
+
+def _parse_bytes(value: str, spec: str) -> int:
+    """Parse ``32KB`` / ``1MB`` / ``64KiB`` / bare bytes (decimal units)."""
+    v = value.strip()
+    for suffix, scale in (("KiB", 1024), ("MB", 1e6), ("KB", 1e3), ("B", 1)):
+        if v.endswith(suffix):
+            return int(round(_num(v[: -len(suffix)], spec) * scale))
+    return int(round(_num(v, spec)))
+
+
+def _parse_int(value: str, spec: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigError(f"bad integer {value!r} in workload spec {spec!r}") \
+            from None
+
+
+def _parse_params(rest: str, spec: str, allowed: tuple[str, ...]) -> dict[str, str]:
+    """Split ``k=v,k=v`` into a dict, validating keys against ``allowed``."""
+    params: dict[str, str] = {}
+    for chunk in (c.strip() for c in rest.split(",")):
+        if not chunk:
+            continue
+        key, sep, value = chunk.partition("=")
+        key = key.strip()
+        if not sep or not value.strip():
+            raise ConfigError(
+                f"workload spec {spec!r}: {chunk!r} must be key=value")
+        if key not in allowed:
+            raise ConfigError(
+                f"workload spec {spec!r}: unknown parameter {key!r}"
+                f" (allowed: {', '.join(allowed)})")
+        if key in params:
+            raise ConfigError(
+                f"workload spec {spec!r}: duplicate parameter {key!r}")
+        params[key] = value.strip()
+    return params
+
+
+def _fmt(value) -> str:
+    """Canonical value rendering: shortest float form, bare seconds/bytes."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+# --- config defaults -------------------------------------------------------
+
+def _cfg(config, name: str, default):
+    """Read a ScenarioConfig field, tolerating ``config=None`` (tests)."""
+    if config is None:
+        return default
+    return getattr(config, name, default)
+
+
+def _deadlines(config) -> UniformDeadlines:
+    return UniformDeadlines(
+        _cfg(config, "deadline_lo", 5e-3),
+        _cfg(config, "deadline_hi", 25e-3),
+        _cfg(config, "short_threshold", KB(100)),
+    )
+
+
+def _resolve_sizes(name: Optional[str], config) -> FlowSizeDistribution:
+    return named_distribution(
+        name if name is not None else _cfg(config, "sizes", "web_search"),
+        truncate_at=_cfg(config, "truncate_tail", None),
+    )
+
+
+def _fabric_bps(net: "Network") -> float:
+    cfg = net.config
+    return cfg.effective_fabric_rate * cfg.n_leaves * cfg.n_spines
+
+
+def _require_multi_leaf(net: "Network", kind: str) -> None:
+    if len(net.leaves) < 2:
+        raise ConfigError(f"{kind} scenario needs at least two leaves")
+
+
+def _poisson_arrivals(rng, lam: float, n: int) -> np.ndarray:
+    if lam <= 0:
+        raise ConfigError(f"non-positive arrival rate {lam!r}")
+    return np.cumsum(rng.exponential(1.0 / lam, size=n))
+
+
+def _uniform_cross_leaf_pairs(net: "Network", rng, n: int) -> list[tuple[str, str]]:
+    """Uniform random host pairs that always cross leaves (the paper's
+    multi-path setting; intra-leaf draws are redrawn)."""
+    hosts = [h.name for h in net.host_list()]
+    leaf_of = net.leaf_of
+    pairs = []
+    for _ in range(n):
+        src = hosts[int(rng.integers(len(hosts)))]
+        dst = hosts[int(rng.integers(len(hosts)))]
+        while leaf_of[dst] == leaf_of[src]:
+            dst = hosts[int(rng.integers(len(hosts)))]
+        pairs.append((src, dst))
+    return pairs
+
+
+def _make_flows(
+    base_id: int,
+    pairs: list[tuple[str, str]],
+    sizes: np.ndarray,
+    arrivals: np.ndarray,
+    deadlines: list[Optional[float]],
+) -> list[Flow]:
+    return [
+        Flow(id=base_id + i, src=src, dst=dst, size=int(sizes[i]),
+             start_time=float(arrivals[i]), deadline=deadlines[i])
+        for i, (src, dst) in enumerate(pairs)
+    ]
+
+
+# --- the scenario interface ------------------------------------------------
+
+class Scenario:
+    """One parsed workload scenario: a pure description that can render
+    itself canonically (for cache keys) and generate deterministic flows
+    on a built network."""
+
+    kind: str = "base"
+
+    @classmethod
+    def parse(cls, rest: str, spec: str) -> "Scenario":
+        raise NotImplementedError
+
+    def canonical(self) -> str:
+        """Canonical spec form — a fixed point of ``parse``; explicit
+        parameters only, sorted by key, values in base units."""
+        params = self._canonical_params()
+        if not params:
+            return self.kind
+        body = ",".join(f"{k}={_fmt(v)}" for k, v in sorted(params.items()))
+        return f"{self.kind}:{body}"
+
+    def _canonical_params(self) -> dict:
+        raise NotImplementedError
+
+    def file_digests(self) -> dict[str, str]:
+        """Content fingerprints of any files the scenario reads
+        (``{path: sha256-prefix}``); folded into the cache key."""
+        return {}
+
+    def generate(
+        self,
+        net: "Network",
+        config=None,
+        *,
+        base_id: int = 0,
+        n_flows: Optional[int] = None,
+        stream_prefix: str = "workload.scenario",
+    ) -> list[Flow]:
+        """Produce the scenario's flows (ids contiguous from ``base_id``)."""
+        raise NotImplementedError
+
+    def install(
+        self,
+        net: "Network",
+        registry: FlowRegistry,
+        config=None,
+        *,
+        sender_cls: Type = DctcpSender,
+        tcp_config=None,
+    ) -> WorkloadResult:
+        """Register flows, create senders, schedule starts."""
+        _install_listeners(net, registry)
+        flows = self.generate(net, config)
+        result = WorkloadResult()
+        for flow in flows:
+            _schedule_flow(net, registry, flow, sender_cls, tcp_config, result)
+        return result
+
+
+# --- traffic-matrix scenarios ----------------------------------------------
+
+class PoissonScenario(Scenario):
+    """Uniform random cross-leaf pairs, Poisson arrivals at a target
+    load — the §6.2 baseline, spec-addressable so mixes can cite it."""
+
+    kind = "poisson"
+    _ALLOWED = ("sizes", "load", "flows")
+
+    def __init__(self, sizes: Optional[str] = None, load: Optional[float] = None,
+                 flows: Optional[int] = None):
+        if sizes is not None:
+            named_distribution(sizes)  # validate eagerly
+        if load is not None and not 0 < load <= 1.5:
+            raise ConfigError(f"load must be in (0, 1.5], got {load}")
+        if flows is not None and flows < 1:
+            raise ConfigError("flows must be >= 1")
+        self.sizes = sizes
+        self.load = load
+        self.flows = flows
+
+    @classmethod
+    def parse(cls, rest: str, spec: str) -> "PoissonScenario":
+        p = _parse_params(rest, spec, cls._ALLOWED)
+        return cls(
+            sizes=p.get("sizes"),
+            load=_num(p["load"], spec) if "load" in p else None,
+            flows=_parse_int(p["flows"], spec) if "flows" in p else None,
+        )
+
+    def _canonical_params(self) -> dict:
+        out = {}
+        if self.sizes is not None:
+            out["sizes"] = self.sizes
+        if self.load is not None:
+            out["load"] = self.load
+        if self.flows is not None:
+            out["flows"] = self.flows
+        return out
+
+    def _distribution(self, config) -> FlowSizeDistribution:
+        return _resolve_sizes(self.sizes, config)
+
+    def generate(self, net, config=None, *, base_id=0, n_flows=None,
+                 stream_prefix="workload.scenario"):
+        _require_multi_leaf(net, self.kind)
+        n = n_flows if n_flows is not None else (
+            self.flows if self.flows is not None
+            else _cfg(config, "n_flows", 200))
+        load = self.load if self.load is not None else _cfg(config, "load", 0.4)
+        dist = self._distribution(config)
+        lam = load * _fabric_bps(net) / (8.0 * dist.mean())
+        arrivals = _poisson_arrivals(
+            net.rngs.stream(f"{stream_prefix}.arrivals"), lam, n)
+        sizes = dist.sample(net.rngs.stream(f"{stream_prefix}.sizes"), n)
+        deadlines = _deadlines(config).assign(
+            net.rngs.stream(f"{stream_prefix}.deadlines"), sizes)
+        pairs = _uniform_cross_leaf_pairs(
+            net, net.rngs.stream(f"{stream_prefix}.pairs"), n)
+        return _make_flows(base_id, pairs, sizes, arrivals, deadlines)
+
+
+class EmpiricalCdfScenario(PoissonScenario):
+    """Flow sizes from an empirical CDF file (the rotorsim
+    ``dist_from_file`` idiom): rows of ``size_bytes,cdf``, ``#`` comments
+    ignored.  The file's content hash is part of the cache key, so
+    editing a trace invalidates exactly the cells that used it."""
+
+    kind = "cdf"
+    _ALLOWED = ("file", "load", "flows")
+
+    def __init__(self, file: str, load: Optional[float] = None,
+                 flows: Optional[int] = None):
+        super().__init__(sizes=None, load=load, flows=flows)
+        self.file = str(file)
+        points, digest = load_cdf_file(self.file)
+        self._points = points
+        self._digest = digest
+
+    @classmethod
+    def parse(cls, rest: str, spec: str) -> "EmpiricalCdfScenario":
+        p = _parse_params(rest, spec, cls._ALLOWED)
+        if "file" not in p:
+            raise ConfigError(f"workload spec {spec!r}: cdf needs file=PATH")
+        return cls(
+            file=p["file"],
+            load=_num(p["load"], spec) if "load" in p else None,
+            flows=_parse_int(p["flows"], spec) if "flows" in p else None,
+        )
+
+    def _canonical_params(self) -> dict:
+        out = super()._canonical_params()
+        out["file"] = self.file
+        return out
+
+    def file_digests(self) -> dict[str, str]:
+        return {self.file: self._digest}
+
+    def _distribution(self, config) -> FlowSizeDistribution:
+        name = Path(self.file).stem or "cdf"
+        return PiecewiseCdf(
+            self._points, name=f"cdf:{name}",
+            truncate_at=_cfg(config, "truncate_tail", None))
+
+
+class ZipfScenario(PoissonScenario):
+    """Zipf-skewed destination popularity: host at popularity rank k is
+    chosen with probability ∝ k^-s (the hopperkv ``ZipfDistrib`` shape).
+    The rank→host assignment is a seeded permutation, so the hot set is
+    stable within a run and byte-identical across schemes."""
+
+    kind = "zipf"
+    _ALLOWED = ("s", "sizes", "load", "flows")
+
+    def __init__(self, s: float = 1.2, sizes: Optional[str] = None,
+                 load: Optional[float] = None, flows: Optional[int] = None):
+        super().__init__(sizes=sizes, load=load, flows=flows)
+        if not 0 < s <= 4.0:
+            raise ConfigError(f"zipf exponent s must be in (0, 4], got {s}")
+        self.s = float(s)
+
+    @classmethod
+    def parse(cls, rest: str, spec: str) -> "ZipfScenario":
+        p = _parse_params(rest, spec, cls._ALLOWED)
+        return cls(
+            s=_num(p["s"], spec) if "s" in p else 1.2,
+            sizes=p.get("sizes"),
+            load=_num(p["load"], spec) if "load" in p else None,
+            flows=_parse_int(p["flows"], spec) if "flows" in p else None,
+        )
+
+    def _canonical_params(self) -> dict:
+        out = super()._canonical_params()
+        out["s"] = self.s
+        return out
+
+    def draw_destinations(self, net, rng, n: int) -> list[str]:
+        """``n`` destination hosts by Zipf rank-frequency (exposed for
+        the conformance tests)."""
+        hosts = [h.name for h in net.host_list()]
+        ranks = np.arange(1, len(hosts) + 1, dtype=float)
+        weights = ranks ** -self.s
+        weights /= weights.sum()
+        perm = rng.permutation(len(hosts))
+        draws = rng.choice(len(hosts), size=n, p=weights)
+        return [hosts[int(perm[d])] for d in draws]
+
+    def generate(self, net, config=None, *, base_id=0, n_flows=None,
+                 stream_prefix="workload.scenario"):
+        _require_multi_leaf(net, self.kind)
+        n = n_flows if n_flows is not None else (
+            self.flows if self.flows is not None
+            else _cfg(config, "n_flows", 200))
+        load = self.load if self.load is not None else _cfg(config, "load", 0.4)
+        dist = self._distribution(config)
+        lam = load * _fabric_bps(net) / (8.0 * dist.mean())
+        arrivals = _poisson_arrivals(
+            net.rngs.stream(f"{stream_prefix}.arrivals"), lam, n)
+        sizes = dist.sample(net.rngs.stream(f"{stream_prefix}.sizes"), n)
+        deadlines = _deadlines(config).assign(
+            net.rngs.stream(f"{stream_prefix}.deadlines"), sizes)
+        rng_pairs = net.rngs.stream(f"{stream_prefix}.pairs")
+        hosts = [h.name for h in net.host_list()]
+        leaf_of = net.leaf_of
+        dsts = self.draw_destinations(net, rng_pairs, n)
+        pairs = []
+        for dst in dsts:
+            # src is uniform over the other leaves, so the destination
+            # popularity skew is preserved exactly.
+            src = hosts[int(rng_pairs.integers(len(hosts)))]
+            while leaf_of[src] == leaf_of[dst]:
+                src = hosts[int(rng_pairs.integers(len(hosts)))]
+            pairs.append((src, dst))
+        return _make_flows(base_id, pairs, sizes, arrivals, deadlines)
+
+
+class IncastScenario(Scenario):
+    """Partition–aggregate fan-in: every ``period``, one aggregator
+    receives ``fanin`` near-simultaneous responses from workers on other
+    leaves (OLDI request shape; workers are drawn fabric-wide, so
+    ``fanin`` may exceed one leaf's host count)."""
+
+    kind = "incast"
+    _ALLOWED = ("fanin", "period", "size", "requests", "jitter")
+
+    def __init__(self, fanin: int = 16, period: float = 0.010,
+                 size: int = KB(32), requests: Optional[int] = None,
+                 jitter: float = 500e-6):
+        if fanin < 1:
+            raise ConfigError(f"incast fanin must be >= 1, got {fanin}")
+        if period <= 0:
+            raise ConfigError(f"incast period must be > 0, got {period}")
+        if size < 1:
+            raise ConfigError(f"incast size must be >= 1 byte, got {size}")
+        if requests is not None and requests < 1:
+            raise ConfigError("incast requests must be >= 1")
+        if jitter < 0:
+            raise ConfigError("incast jitter must be >= 0")
+        self.fanin = int(fanin)
+        self.period = float(period)
+        self.size = int(size)
+        self.requests = requests
+        self.jitter = float(jitter)
+
+    @classmethod
+    def parse(cls, rest: str, spec: str) -> "IncastScenario":
+        p = _parse_params(rest, spec, cls._ALLOWED)
+        return cls(
+            fanin=_parse_int(p["fanin"], spec) if "fanin" in p else 16,
+            period=_parse_time(p["period"], spec) if "period" in p else 0.010,
+            size=_parse_bytes(p["size"], spec) if "size" in p else KB(32),
+            requests=_parse_int(p["requests"], spec) if "requests" in p else None,
+            jitter=_parse_time(p["jitter"], spec) if "jitter" in p else 500e-6,
+        )
+
+    def _canonical_params(self) -> dict:
+        out = {"fanin": self.fanin, "period": self.period,
+               "size": self.size, "jitter": self.jitter}
+        if self.requests is not None:
+            out["requests"] = self.requests
+        return out
+
+    def generate(self, net, config=None, *, base_id=0, n_flows=None,
+                 stream_prefix="workload.scenario"):
+        _require_multi_leaf(net, self.kind)
+        budget = n_flows if n_flows is not None else _cfg(config, "n_flows", 200)
+        n_requests = self.requests if self.requests is not None else max(
+            1, budget // self.fanin)
+        rng = net.rngs.stream(f"{stream_prefix}.incast")
+        rng_deadlines = net.rngs.stream(f"{stream_prefix}.deadlines")
+        deadlines = _deadlines(config)
+        hosts = [h.name for h in net.host_list()]
+        leaf_of = net.leaf_of
+        by_leaf: dict[str, list[str]] = {}
+        for h in hosts:
+            by_leaf.setdefault(leaf_of[h], []).append(h)
+
+        flows: list[Flow] = []
+        fid = base_id
+        for rid in range(n_requests):
+            epoch = rid * self.period
+            agg = hosts[int(rng.integers(len(hosts)))]
+            workers = [h for leaf, pool in sorted(by_leaf.items())
+                       if leaf != leaf_of[agg] for h in pool]
+            if self.fanin > len(workers):
+                raise ConfigError(
+                    f"incast fanin {self.fanin} exceeds the {len(workers)}"
+                    f" cross-leaf hosts available")
+            chosen = rng.permutation(len(workers))[: self.fanin]
+            sizes = np.full(self.fanin, self.size, dtype=np.int64)
+            dls = deadlines.assign(rng_deadlines, sizes)
+            for j, w in enumerate(chosen):
+                start = epoch + float(rng.uniform(0.0, self.jitter))
+                flows.append(Flow(id=fid, src=workers[int(w)], dst=agg,
+                                  size=self.size, start_time=start,
+                                  deadline=dls[j]))
+                fid += 1
+        return flows
+
+
+class DiurnalScenario(Scenario):
+    """Sinusoidal load curve between ``trough`` and ``peak`` over
+    ``period`` — a compressed day.  Arrivals are a non-homogeneous
+    Poisson process drawn by thinning against the peak rate, so the
+    realised curve follows λ(t) exactly and stays seed-deterministic."""
+
+    kind = "diurnal"
+    _ALLOWED = ("peak", "trough", "period", "sizes", "flows")
+
+    def __init__(self, peak: float = 0.8, trough: float = 0.2,
+                 period: float = 1.0, sizes: Optional[str] = None,
+                 flows: Optional[int] = None):
+        if not 0 < trough <= peak <= 1.5:
+            raise ConfigError(
+                f"need 0 < trough <= peak <= 1.5, got trough={trough}"
+                f" peak={peak}")
+        if period <= 0:
+            raise ConfigError(f"diurnal period must be > 0, got {period}")
+        if sizes is not None:
+            named_distribution(sizes)
+        if flows is not None and flows < 1:
+            raise ConfigError("flows must be >= 1")
+        self.peak = float(peak)
+        self.trough = float(trough)
+        self.period = float(period)
+        self.sizes = sizes
+        self.flows = flows
+
+    @classmethod
+    def parse(cls, rest: str, spec: str) -> "DiurnalScenario":
+        p = _parse_params(rest, spec, cls._ALLOWED)
+        return cls(
+            peak=_num(p["peak"], spec) if "peak" in p else 0.8,
+            trough=_num(p["trough"], spec) if "trough" in p else 0.2,
+            period=_parse_time(p["period"], spec) if "period" in p else 1.0,
+            sizes=p.get("sizes"),
+            flows=_parse_int(p["flows"], spec) if "flows" in p else None,
+        )
+
+    def _canonical_params(self) -> dict:
+        out = {"peak": self.peak, "trough": self.trough,
+               "period": self.period}
+        if self.sizes is not None:
+            out["sizes"] = self.sizes
+        if self.flows is not None:
+            out["flows"] = self.flows
+        return out
+
+    def load_at(self, t: float) -> float:
+        """Instantaneous offered load: trough at t=0, peak at period/2."""
+        phase = 0.5 - 0.5 * np.cos(2.0 * np.pi * t / self.period)
+        return self.trough + (self.peak - self.trough) * float(phase)
+
+    def generate(self, net, config=None, *, base_id=0, n_flows=None,
+                 stream_prefix="workload.scenario"):
+        _require_multi_leaf(net, self.kind)
+        n = n_flows if n_flows is not None else (
+            self.flows if self.flows is not None
+            else _cfg(config, "n_flows", 200))
+        dist = _resolve_sizes(self.sizes, config)
+        lam_unit = _fabric_bps(net) / (8.0 * dist.mean())
+        lam_max = lam_unit * self.peak
+        rng_arrivals = net.rngs.stream(f"{stream_prefix}.arrivals")
+        arrivals = np.empty(n)
+        t = 0.0
+        accepted = 0
+        while accepted < n:
+            t += float(rng_arrivals.exponential(1.0 / lam_max))
+            if rng_arrivals.random() * self.peak <= self.load_at(t):
+                arrivals[accepted] = t
+                accepted += 1
+        sizes = dist.sample(net.rngs.stream(f"{stream_prefix}.sizes"), n)
+        deadlines = _deadlines(config).assign(
+            net.rngs.stream(f"{stream_prefix}.deadlines"), sizes)
+        pairs = _uniform_cross_leaf_pairs(
+            net, net.rngs.stream(f"{stream_prefix}.pairs"), n)
+        return _make_flows(base_id, pairs, sizes, arrivals, deadlines)
+
+
+class HotspotScenario(Scenario):
+    """Migrating hotspot: in each ``dwell`` epoch a rotating set of
+    ``leaves`` leaves absorbs fraction ``bias`` of all traffic, so load
+    concentrates on a few racks and then moves on — the failure mode
+    that defeats static weighting."""
+
+    kind = "hotspot"
+    _ALLOWED = ("leaves", "dwell", "bias", "sizes", "load", "flows")
+
+    def __init__(self, leaves: int = 1, dwell: float = 0.2, bias: float = 0.9,
+                 sizes: Optional[str] = None, load: Optional[float] = None,
+                 flows: Optional[int] = None):
+        if leaves < 1:
+            raise ConfigError(f"hotspot leaves must be >= 1, got {leaves}")
+        if dwell <= 0:
+            raise ConfigError(f"hotspot dwell must be > 0, got {dwell}")
+        if not 0 < bias <= 1:
+            raise ConfigError(f"hotspot bias must be in (0, 1], got {bias}")
+        if sizes is not None:
+            named_distribution(sizes)
+        if load is not None and not 0 < load <= 1.5:
+            raise ConfigError(f"load must be in (0, 1.5], got {load}")
+        if flows is not None and flows < 1:
+            raise ConfigError("flows must be >= 1")
+        self.leaves = int(leaves)
+        self.dwell = float(dwell)
+        self.bias = float(bias)
+        self.sizes = sizes
+        self.load = load
+        self.flows = flows
+
+    @classmethod
+    def parse(cls, rest: str, spec: str) -> "HotspotScenario":
+        p = _parse_params(rest, spec, cls._ALLOWED)
+        return cls(
+            leaves=_parse_int(p["leaves"], spec) if "leaves" in p else 1,
+            dwell=_parse_time(p["dwell"], spec) if "dwell" in p else 0.2,
+            bias=_num(p["bias"], spec) if "bias" in p else 0.9,
+            sizes=p.get("sizes"),
+            load=_num(p["load"], spec) if "load" in p else None,
+            flows=_parse_int(p["flows"], spec) if "flows" in p else None,
+        )
+
+    def _canonical_params(self) -> dict:
+        out = {"leaves": self.leaves, "dwell": self.dwell, "bias": self.bias}
+        if self.sizes is not None:
+            out["sizes"] = self.sizes
+        if self.load is not None:
+            out["load"] = self.load
+        if self.flows is not None:
+            out["flows"] = self.flows
+        return out
+
+    def hot_leaves(self, epoch: int, n_leaves: int) -> list[int]:
+        """Leaf indices that are hot during ``epoch`` (rotates each dwell)."""
+        width = min(self.leaves, n_leaves)
+        return [(epoch + i) % n_leaves for i in range(width)]
+
+    def generate(self, net, config=None, *, base_id=0, n_flows=None,
+                 stream_prefix="workload.scenario"):
+        _require_multi_leaf(net, self.kind)
+        n = n_flows if n_flows is not None else (
+            self.flows if self.flows is not None
+            else _cfg(config, "n_flows", 200))
+        load = self.load if self.load is not None else _cfg(config, "load", 0.4)
+        dist = _resolve_sizes(self.sizes, config)
+        lam = load * _fabric_bps(net) / (8.0 * dist.mean())
+        arrivals = _poisson_arrivals(
+            net.rngs.stream(f"{stream_prefix}.arrivals"), lam, n)
+        sizes = dist.sample(net.rngs.stream(f"{stream_prefix}.sizes"), n)
+        deadlines = _deadlines(config).assign(
+            net.rngs.stream(f"{stream_prefix}.deadlines"), sizes)
+        rng = net.rngs.stream(f"{stream_prefix}.pairs")
+        hosts = [h.name for h in net.host_list()]
+        leaf_of = net.leaf_of
+        leaf_names = [leaf.name for leaf in net.leaves]
+        hosts_by_leaf = {
+            name: [h for h in hosts if leaf_of[h] == name]
+            for name in leaf_names
+        }
+        pairs = []
+        for i in range(n):
+            epoch = int(arrivals[i] // self.dwell)
+            hot = [leaf_names[j]
+                   for j in self.hot_leaves(epoch, len(leaf_names))]
+            if rng.random() < self.bias:
+                pool = [h for name in hot for h in hosts_by_leaf[name]]
+                dst = pool[int(rng.integers(len(pool)))]
+            else:
+                dst = hosts[int(rng.integers(len(hosts)))]
+            src = hosts[int(rng.integers(len(hosts)))]
+            while leaf_of[src] == leaf_of[dst]:
+                src = hosts[int(rng.integers(len(hosts)))]
+            pairs.append((src, dst))
+        return _make_flows(base_id, pairs, sizes, arrivals, deadlines)
+
+
+class MixScenario(Scenario):
+    """Weighted multi-tenant mix: ``mix:tenantA@0.7+incast@0.3`` splits
+    the flow budget across component scenarios by weight.  Components
+    draw from index-tagged RNG streams and receive *disjoint* flow-id
+    ranges (allocated sequentially from each component's actual flow
+    count), so the composed install can never collide ids."""
+
+    kind = "mix"
+
+    def __init__(self, components: list[tuple[str, float, Scenario]]):
+        if not components:
+            raise ConfigError("mix needs at least one component")
+        total = sum(w for _, w, _ in components)
+        if total <= 0:
+            raise ConfigError("mix weights must sum to a positive value")
+        for name, w, sc in components:
+            if w <= 0:
+                raise ConfigError(
+                    f"mix component {name!r} weight must be > 0, got {w}")
+            if isinstance(sc, MixScenario):
+                raise ConfigError("mix components cannot be mixes themselves")
+        self.components = list(components)
+
+    @classmethod
+    def parse(cls, rest: str, spec: str) -> "MixScenario":
+        components = []
+        for chunk in (c.strip() for c in rest.split("+")):
+            if not chunk:
+                continue
+            name, sep, weight = chunk.partition("@")
+            name = name.strip()
+            if not sep:
+                raise ConfigError(
+                    f"workload spec {spec!r}: mix component {chunk!r} must"
+                    " be NAME@WEIGHT")
+            components.append((name, _num(weight, spec), parse_scenario(name)))
+        return cls(components)
+
+    def canonical(self) -> str:
+        body = "+".join(f"{sc.canonical()}@{_fmt(w)}"
+                        for _, w, sc in self.components)
+        return f"mix:{body}"
+
+    def _canonical_params(self) -> dict:  # pragma: no cover - unused
+        raise AssertionError("MixScenario overrides canonical()")
+
+    def file_digests(self) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for _, _, sc in self.components:
+            out.update(sc.file_digests())
+        return out
+
+    def shares(self, total: int) -> list[int]:
+        """Flow budget per component (largest-remainder rounding; every
+        component gets at least one flow)."""
+        weights = np.asarray([w for _, w, _ in self.components], dtype=float)
+        weights /= weights.sum()
+        raw = weights * total
+        counts = np.maximum(np.floor(raw).astype(int), 1)
+        order = np.argsort(-(raw - np.floor(raw)))
+        for idx in order:
+            if counts.sum() >= total:
+                break
+            counts[idx] += 1
+        return counts.tolist()
+
+    def generate(self, net, config=None, *, base_id=0, n_flows=None,
+                 stream_prefix="workload.scenario"):
+        total = n_flows if n_flows is not None else _cfg(config, "n_flows", 200)
+        flows: list[Flow] = []
+        next_id = base_id
+        for i, ((name, _, sc), share) in enumerate(
+                zip(self.components, self.shares(total))):
+            part = sc.generate(
+                net, config, base_id=next_id, n_flows=share,
+                stream_prefix=f"{stream_prefix}.mix{i}.{sc.kind}")
+            next_id += len(part)
+            flows.extend(part)
+        # Interleave by arrival so install order matches wall-clock order
+        # (deterministic: ids are unique tie-breakers).
+        flows.sort(key=lambda f: (f.start_time, f.id))
+        return flows
+
+
+# --- the registry ----------------------------------------------------------
+
+#: kind -> Scenario subclass
+SCENARIO_KINDS: dict[str, Type[Scenario]] = {}
+
+#: one-word presets that expand to full specs (mix components use these)
+SCENARIO_ALIASES: dict[str, str] = {
+    "websearch": "poisson:sizes=web_search",
+    "datamining": "poisson:sizes=data_mining",
+    "tenantA": "poisson:sizes=web_search,load=0.3",
+    "tenantB": "poisson:sizes=data_mining,load=0.2",
+}
+
+#: a runnable example spec per kind (docs and conformance tests; ``cdf``
+#: is omitted because it needs an on-disk trace file)
+EXAMPLE_SPECS: dict[str, str] = {
+    "poisson": "poisson:load=0.4",
+    "zipf": "zipf:s=1.2",
+    "incast": "incast:fanin=8,period=10ms",
+    "diurnal": "diurnal:peak=0.8,trough=0.2,period=500ms",
+    "hotspot": "hotspot:leaves=1,dwell=200ms",
+    "mix": "mix:tenantA@0.7+incast@0.3",
+}
+
+
+def register_scenario(kind: str, cls: Type[Scenario]) -> None:
+    """Register a scenario class under ``kind`` (overwrites silently so
+    tests can stub kinds, like :func:`repro.lb.registry.register_scheme`)."""
+    SCENARIO_KINDS[kind] = cls
+
+
+for _cls in (PoissonScenario, EmpiricalCdfScenario, ZipfScenario,
+             IncastScenario, DiurnalScenario, HotspotScenario, MixScenario):
+    register_scenario(_cls.kind, _cls)
+
+
+def available_scenarios() -> list[str]:
+    """Sorted spec kinds plus aliases."""
+    return sorted(SCENARIO_KINDS) + sorted(SCENARIO_ALIASES)
+
+
+def parse_scenario(spec: str) -> Scenario:
+    """Parse one workload spec (see the module docstring's grammar)."""
+    text = (spec or "").strip()
+    if not text:
+        raise ConfigError("empty workload spec")
+    text = SCENARIO_ALIASES.get(text, text)
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    if kind not in SCENARIO_KINDS:
+        raise ConfigError(
+            f"unknown workload scenario {kind!r} in {spec!r};"
+            f" known: {', '.join(available_scenarios())}")
+    return SCENARIO_KINDS[kind].parse(rest, spec)
+
+
+def canonical_workload(spec: str) -> str:
+    """The cache-key rendering of a workload axis value.
+
+    Legacy values (``static`` / ``poisson``) pass through unchanged;
+    scenario specs canonicalise (so an alias and its expansion, or two
+    param orderings, share one cache cell) and append the content
+    fingerprints of any files read, so editing a trace file invalidates
+    exactly the cells that used it.
+    """
+    if spec in LEGACY_WORKLOADS:
+        return spec
+    scenario = parse_scenario(spec)
+    canonical = scenario.canonical()
+    digests = scenario.file_digests()
+    if digests:
+        tagged = ",".join(f"{path}={digest}"
+                          for path, digest in sorted(digests.items()))
+        canonical += f"#files[{tagged}]"
+    return canonical
+
+
+# --- empirical CDF files ---------------------------------------------------
+
+def load_cdf_file(path: str | Path) -> tuple[list[tuple[float, float]], str]:
+    """Read an empirical CDF trace: ``size_bytes,cdf`` rows (comma or
+    whitespace separated, ``#`` comments and blank lines ignored).
+
+    Returns the knot list and a short content digest.  Raises
+    :class:`ConfigError` with the offending line on malformed rows, and
+    re-validates through :class:`PiecewiseCdf` so the knots obey the
+    same monotonicity rules as the built-in distributions.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ConfigError(f"cannot read CDF file {path}: {exc}") from None
+    digest = hashlib.sha256(raw).hexdigest()[:16]
+    points: list[tuple[float, float]] = []
+    for lineno, line in enumerate(raw.decode("utf-8").splitlines(), start=1):
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        parts = text.replace(",", " ").split()
+        if len(parts) != 2:
+            raise ConfigError(
+                f"{path}:{lineno}: expected 'size_bytes,cdf', got {line!r}")
+        try:
+            points.append((float(parts[0]), float(parts[1])))
+        except ValueError:
+            raise ConfigError(
+                f"{path}:{lineno}: bad number in {line!r}") from None
+    if len(points) < 2:
+        raise ConfigError(f"{path}: need at least two CDF knots")
+    try:
+        PiecewiseCdf(points, name="probe")
+    except ConfigError as exc:
+        raise ConfigError(f"{path}: {exc}") from None
+    return points, digest

@@ -88,7 +88,8 @@ def test_sweep_progress_flag_parses():
 
 def test_figure_choices_cover_all_paper_figures():
     expected = {f"fig{i}" for i in [3, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17]}
-    expected.add("faults")  # beyond the paper: dynamic-failure comparison
+    expected.add("faults")     # beyond the paper: dynamic-failure comparison
+    expected.add("workloads")  # beyond the paper: scenario grid
     assert set(FIGURES) == expected
 
 
@@ -572,3 +573,45 @@ def test_mission_control_flags_parse():
     assert args.json
     args = parser.parse_args(["cache", "stats", "--json"])
     assert args.json
+
+
+def test_workloads_command_lists_vocabulary(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("poisson", "cdf", "zipf", "incast", "diurnal", "hotspot",
+                 "mix"):
+        assert kind in out
+    assert "websearch = poisson:sizes=web_search" in out
+
+
+def test_run_command_with_scenario_workload(capsys):
+    assert main(["run", "--scheme", "ecmp",
+                 "--workload", "incast:fanin=4,period=5ms",
+                 "--flows", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "scheme=ecmp" in out
+
+
+def test_run_command_rejects_bad_workload_spec():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main(["run", "--workload", "nosuchkind:x=1", "--flows", "8"])
+
+
+def test_sweep_and_fleet_parsers_accept_workload():
+    args = build_parser().parse_args(
+        ["sweep", "--schemes", "ecmp", "--loads", "0.3",
+         "--workload", "zipf:s=1.2"])
+    assert args.workload == "zipf:s=1.2"
+    args = build_parser().parse_args(
+        ["fleet", "run", "--dir", "d", "--workload", "hotspot:leaves=2"])
+    assert args.workload == "hotspot:leaves=2"
+
+
+def test_figure_parser_accepts_repeated_workload():
+    args = build_parser().parse_args(
+        ["figure", "workloads", "--workload", "zipf:s=1.2",
+         "--workload", "incast:fanin=8", "--csv", "out.csv"])
+    assert args.workloads == ["zipf:s=1.2", "incast:fanin=8"]
+    assert args.csv == "out.csv"

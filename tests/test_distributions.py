@@ -10,6 +10,7 @@ from repro.workload.distributions import (
     FixedSize,
     PiecewiseCdf,
     UniformSize,
+    named_distribution,
 )
 
 RNG = np.random.default_rng(0)
@@ -58,6 +59,50 @@ def test_truncation_caps_samples_and_mean():
     assert trunc.mean() < WEB_SEARCH.mean()
 
 
+def test_truncated_mean_matches_empirical_mean():
+    """Regression: mean() used to clip the straddling segment's knots to
+    the cap and midpoint them, under-weighting the clamped mass — the
+    truncated mean came out low and the derived Poisson arrival rate
+    (offered load / mean) correspondingly high."""
+    for base, cap in ((WEB_SEARCH, 1_000_000), (WEB_SEARCH, 3_000_000),
+                      (DATA_MINING, 10_000_000), (DATA_MINING, 70_000)):
+        trunc = PiecewiseCdf(
+            list(zip(base.sizes.tolist(), base.probs.tolist())),
+            truncate_at=cap,
+        )
+        # Deterministic quadrature of the actual sampling transform
+        # (inverse CDF then clamp) — immune to heavy-tail sampling noise.
+        u = (np.arange(2_000_000) + 0.5) / 2_000_000
+        raw = np.minimum(np.interp(u, trunc.probs, trunc.sizes), cap)
+        assert trunc.mean() == pytest.approx(raw.mean(), rel=1e-6)
+        sizes = trunc.sample(np.random.default_rng(7), 400_000)
+        assert trunc.mean() == pytest.approx(sizes.mean(), rel=0.02)
+
+
+def test_truncated_mean_exact_closed_form():
+    """E[min(X, cap)] on a hand-checkable CDF: X uniform on [100, 300],
+    cap 200 → E = 0.5·150 + 0.5·200 = 175 (the old knot-clipping code
+    said (100+200)/2 = 150)."""
+    d = PiecewiseCdf([(100, 0.0), (300, 1.0)], truncate_at=200)
+    assert d.mean() == pytest.approx(175.0)
+
+
+def test_truncated_offered_load_within_one_percent():
+    """The §6.2 driver derives the arrival rate as
+    load·capacity / (8·mean); with the corrected truncated mean the
+    realised offered load (arrival rate × empirical mean bytes) matches
+    the requested load within 1 %."""
+    trunc = PiecewiseCdf(
+        list(zip(WEB_SEARCH.sizes.tolist(), WEB_SEARCH.probs.tolist())),
+        truncate_at=3_000_000,
+    )
+    capacity_bps, load = 10e9, 0.4
+    lam = load * capacity_bps / (8.0 * trunc.mean())
+    sizes = trunc.sample(np.random.default_rng(8), 400_000)
+    realised = lam * 8.0 * sizes.mean() / capacity_bps
+    assert realised == pytest.approx(load, rel=0.01)
+
+
 def test_piecewise_validation():
     with pytest.raises(ConfigError):
         PiecewiseCdf([(100, 1.0)])  # one knot
@@ -78,9 +123,49 @@ def test_uniform_size_bounds_and_mean():
     assert sizes.max() <= 100_000
     assert sizes.mean() == pytest.approx(70_000, rel=0.02)
     assert d.mean() == 70_000
-    assert d.fraction_below(70_000) == pytest.approx(0.5)
+    # sample() draws inclusive integers, so fraction_below is the
+    # discrete CDF (30001 of the 60001 values are <= 70 000).
+    assert d.fraction_below(70_000) == pytest.approx(30_001 / 60_001)
     assert d.fraction_below(10) == 0.0
     assert d.fraction_below(200_000) == 1.0
+
+
+def test_uniform_fraction_below_is_discrete():
+    """Regression: fraction_below used the continuous (t-lo)/(hi-lo)
+    formula while sample() draws inclusive integers — at t=lo it said 0
+    although sample() emits lo with probability 1/(hi-lo+1)."""
+    d = UniformSize(10, 19)
+    assert d.fraction_below(10) == pytest.approx(1 / 10)
+    assert d.fraction_below(19) == 1.0
+    assert d.fraction_below(19.7) == 1.0
+    assert d.fraction_below(14.5) == pytest.approx(5 / 10)
+    sizes = d.sample(np.random.default_rng(6), 200_000)
+    for t in range(10, 20):
+        assert (sizes <= t).mean() == pytest.approx(
+            d.fraction_below(t), abs=0.01)
+
+
+def test_piecewise_fraction_below_at_knot_boundaries():
+    """fraction_below matches the empirical CDF of the integer-floored
+    samples at and just below the knots."""
+    for dist in (WEB_SEARCH, DATA_MINING):
+        sizes = dist.sample(np.random.default_rng(11), 200_000)
+        for knot in dist.sizes[1:-1]:
+            for t in (float(knot), float(knot) - 0.5):
+                assert (sizes <= t).mean() == pytest.approx(
+                    dist.fraction_below(t), abs=0.02)
+    trunc = named_distribution("web_search", truncate_at=1_000_000)
+    sizes = trunc.sample(np.random.default_rng(12), 100_000)
+    assert trunc.fraction_below(1_000_000) == 1.0
+    assert (sizes <= 1_000_000).mean() == 1.0
+
+
+def test_named_distribution():
+    assert named_distribution("web_search").mean() == WEB_SEARCH.mean()
+    capped = named_distribution("data_mining", truncate_at=10_000)
+    assert capped.sample(np.random.default_rng(13), 1000).max() <= 10_000
+    with pytest.raises(ConfigError):
+        named_distribution("no_such_distribution")
 
 
 def test_uniform_validation():

@@ -159,3 +159,29 @@ def test_asymmetry_sweep_structure():
     assert "Fig. 17" in text
     with pytest.raises(ValueError):
         asymmetry.run_asymmetry_sweep("bogus", [1.0])
+
+
+def test_workloads_grid_structure():
+    from repro.experiments import workloads
+
+    cfg = workloads.workloads_config(
+        n_leaves=2, hosts_per_leaf=4, n_flows=12, horizon=0.5)
+    rows = workloads.run_workload_grid(
+        ("zipf:s=1.2", "incast:fanin=3,period=10ms"),
+        schemes=("ecmp",), config=cfg, processes=0)
+    assert [(r.scheme, r.workload) for r in rows] == [
+        ("ecmp", "zipf:s=1.2"), ("ecmp", "incast:fanin=3,period=10ms")]
+    text = workloads.tabulate(rows)
+    assert "Workload scenarios" in text
+    assert "zipf:s=1.2" in text
+
+
+def test_workloads_tabulate_shape():
+    from repro.experiments import workloads
+
+    rows = [
+        workloads.WorkloadRow("ecmp", "zipf:s=1.2", 1e-3, 5e-3, 0.1, 5e8, True),
+        workloads.WorkloadRow("tlb", "zipf:s=1.2", 8e-4, 4e-3, 0.0, 6e8, True),
+    ]
+    text = workloads.tabulate(rows)
+    assert text.count("zipf:s=1.2") == 4  # one row in each of 4 panels
